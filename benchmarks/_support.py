@@ -1,0 +1,76 @@
+"""Helpers shared by the figure benchmarks: printing and shape assertions.
+
+The paper's testbed cannot be rebuilt, so absolute values are not asserted;
+the *shapes* are — who wins, roughly by how much, where plateaus fall.
+Assertions are deliberately tolerant of trace jaggedness (the paper itself
+remarks on the burstiness-induced jaggedness of its curves).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.reporting import format_figure
+from repro.experiments.sweeps import Series
+
+
+def show(figure: FigureResult) -> None:
+    """Print a regenerated figure (visible with ``pytest -s`` and in the
+    captured benchmark output)."""
+    print()
+    print(format_figure(figure))
+
+
+def endpoint_gain(series: Series) -> float:
+    """Last y minus first y (improvement across the sweep)."""
+    return series.ys[-1] - series.ys[0]
+
+
+def endpoint_ratio(series: Series) -> float:
+    """First y over last y (reduction factor across the sweep)."""
+    last = series.ys[-1]
+    if last <= 0:
+        return float("inf")
+    return series.ys[0] / last
+
+
+def broadly_non_decreasing(values: Sequence[float], slack: float) -> bool:
+    """True when the series trends upward within a per-step slack.
+
+    Allows the bursty-trace jaggedness the paper describes: each step may
+    dip by at most ``slack`` relative to the running maximum.
+    """
+    running_max = values[0]
+    for value in values:
+        if value < running_max - slack:
+            return False
+        running_max = max(running_max, value)
+    return True
+
+
+def plateau_width(values: Sequence[float], tolerance: float = 1e-9) -> int:
+    """Length of the initial constant prefix of a series."""
+    width = 1
+    for value in values[1:]:
+        if abs(value - values[0]) > tolerance:
+            break
+        width += 1
+    return width
+
+
+def time_representative_point(benchmark, context, accuracy: float, user: float):
+    """Benchmark one *uncached* simulation of a representative point.
+
+    The figure's sweep itself is memoised; timing a fresh ``simulate`` call
+    gives the meaningful cost-per-point number.
+    """
+    from repro.core.system import simulate
+
+    config = context.config(accuracy, user)
+
+    def run_once():
+        return simulate(config, context.log, context.failures)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    return result

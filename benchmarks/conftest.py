@@ -1,0 +1,37 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+All benchmarks share one :class:`FigureCatalog` per session, so sweep
+points computed for one figure are reused by every other figure that needs
+them (the QoS/utilization/lost-work figures share their underlying 33-run
+accuracy grid, for example).
+
+Size knobs (see ``repro.experiments.config``):
+
+* default — reduced logs (``BENCH_JOB_COUNT`` jobs) for minute-scale runs;
+* ``REPRO_FULL=1`` — paper-size 10,000-job logs;
+* ``REPRO_BENCH_JOBS=n`` / ``REPRO_SEED=n`` — explicit overrides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import bench_setup
+from repro.experiments.figures import FigureCatalog
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def catalog() -> FigureCatalog:
+    """One memoising catalog for the whole benchmark session."""
+    return FigureCatalog()
+
+
+@pytest.fixture(scope="session")
+def sdsc_context(catalog: FigureCatalog) -> ExperimentContext:
+    return catalog.context("sdsc")
+
+
+@pytest.fixture(scope="session")
+def nasa_context(catalog: FigureCatalog) -> ExperimentContext:
+    return catalog.context("nasa")

@@ -1,0 +1,50 @@
+"""Ablation — cooperative (Equation 1) vs periodic vs no checkpointing.
+
+The paper's design bet: skipping low-risk checkpoints recovers their
+overhead without giving up failure protection where it matters.  Expected
+ordering at a useful accuracy:
+
+* overhead:  cooperative << periodic   (most requests are skipped);
+* lost work: cooperative << never      (the risky checkpoints are kept);
+* periodic pays the most overhead and loses the least per failure.
+"""
+
+from __future__ import annotations
+
+from _support import time_representative_point
+
+ACCURACY = 0.7
+USER = 0.5
+
+
+def test_checkpoint_policy_ablation(benchmark, sdsc_context):
+    cooperative = sdsc_context.run_point(
+        ACCURACY, USER, checkpoint_policy="cooperative"
+    )
+    periodic = sdsc_context.run_point(ACCURACY, USER, checkpoint_policy="periodic")
+    never = sdsc_context.run_point(ACCURACY, USER, checkpoint_policy="never")
+
+    print()
+    print(f"{'policy':>12}  {'qos':>7}  {'util':>7}  {'lost (node-s)':>14}  "
+          f"{'ckpt overhead (s)':>18}")
+    for name, m in (
+        ("cooperative", cooperative),
+        ("periodic", periodic),
+        ("never", never),
+    ):
+        print(
+            f"{name:>12}  {m.qos:7.4f}  {m.utilization:7.4f}  "
+            f"{m.lost_work:14.3e}  {m.checkpoint_overhead:18.0f}"
+        )
+
+    # Cooperative skips most requests: a fraction of periodic's overhead.
+    assert cooperative.checkpoint_overhead < 0.5 * periodic.checkpoint_overhead
+    # And it protects against predicted failures: its lost work tracks the
+    # naked system's or improves on it.  The tolerance covers schedule-shift
+    # chaos — performing even a few checkpoints moves every later start, so
+    # *which* jobs the (identical) failures hit differs between the runs.
+    assert cooperative.lost_work < never.lost_work * 1.10
+    # Periodic is by far the most protected per failure.
+    assert periodic.lost_work < 0.5 * never.lost_work
+
+    time_representative_point(benchmark, sdsc_context, accuracy=ACCURACY, user=USER)

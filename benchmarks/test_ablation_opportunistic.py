@@ -1,0 +1,32 @@
+"""Ablation — the paper's frozen reservations vs opportunistic pull-forward.
+
+The paper freezes the schedule: "jobs that have already been scheduled for
+later execution retain their scheduled partition; there is no dynamic
+optimization".  The extension pulls not-yet-started bookings toward
+capacity freed by early finishes (skipped checkpoints) — it should never
+hurt utilization and typically shortens waits.
+"""
+
+from __future__ import annotations
+
+from _support import time_representative_point
+
+ACCURACY = 0.7
+USER = 0.5
+
+
+def test_opportunistic_ablation(benchmark, sdsc_context):
+    frozen = sdsc_context.run_point(ACCURACY, USER, opportunistic_start=False)
+    eager = sdsc_context.run_point(ACCURACY, USER, opportunistic_start=True)
+
+    print()
+    print(f"{'schedule':>10}  {'qos':>7}  {'util':>7}  {'mean wait (s)':>14}")
+    for name, m in (("frozen", frozen), ("pull-fwd", eager)):
+        print(f"{name:>10}  {m.qos:7.4f}  {m.utilization:7.4f}  {m.mean_wait:14.0f}")
+
+    # Pull-forward only ever starts jobs earlier: waits shrink (or tie) and
+    # utilization does not degrade beyond noise.
+    assert eager.mean_wait <= frozen.mean_wait + 1.0
+    assert eager.utilization >= frozen.utilization - 0.01
+
+    time_representative_point(benchmark, sdsc_context, accuracy=ACCURACY, user=USER)

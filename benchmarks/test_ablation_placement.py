@@ -1,0 +1,64 @@
+"""Ablation — fault-aware placement vs uninformed placement.
+
+The paper's scheduler uses prediction "to break ties among otherwise
+equivalent partitions".  This ablation removes only that tie-breaking
+(negotiation and checkpointing stay identical) and exposes a subtle
+interaction the paper does not discuss:
+
+* at **perfect accuracy** fault-aware placement strictly dominates — every
+  failure is visible, so jobs simply never sit under one;
+* at **intermediate accuracy** fault-aware placement dodges exactly the
+  *detectable* failures — which are also the only ones cooperative
+  checkpointing protects against.  The hits that remain are undetectable,
+  unprotected, full-loss hits.  Uninformed placement takes *more* hits but
+  a cheaper mix (most of its hits were checkpoint-protected).  Hit counts
+  therefore fall with fault-awareness while per-hit severity rises, and
+  total lost work can move either way on a single trace.
+
+Asserted: strict dominance at a = 1; non-increasing hit counts at a = 0.7.
+The intermediate-accuracy loss mix is printed for the record.
+"""
+
+from __future__ import annotations
+
+from _support import time_representative_point
+
+USER = 0.5
+
+
+def test_placement_ablation(benchmark, sdsc_context):
+    rows = []
+    for accuracy in (0.7, 1.0):
+        aware = sdsc_context.run_point(accuracy, USER, placement="fault-aware")
+        blind = sdsc_context.run_point(accuracy, USER, placement="random")
+        rows.append((accuracy, aware, blind))
+
+    print()
+    print(f"{'a':>4}  {'placement':>12}  {'qos':>7}  {'lost (node-s)':>14}  "
+          f"{'hits':>5}  {'loss/hit':>10}")
+    for accuracy, aware, blind in rows:
+        for name, m in (("fault-aware", aware), ("random", blind)):
+            per_hit = m.lost_work / m.failures_hitting_jobs if m.failures_hitting_jobs else 0.0
+            print(
+                f"{accuracy:4.1f}  {name:>12}  {m.qos:7.4f}  "
+                f"{m.lost_work:14.3e}  {m.failures_hitting_jobs:5d}  "
+                f"{per_hit:10.2e}"
+            )
+
+    mid_aware, mid_blind = rows[0][1], rows[0][2]
+    perfect_aware, perfect_blind = rows[1][1], rows[1][2]
+
+    # Perfect accuracy: every failure is visible, fault-awareness dominates.
+    assert perfect_aware.failures_hitting_jobs <= perfect_blind.failures_hitting_jobs
+    assert perfect_aware.lost_work <= perfect_blind.lost_work + 1e-9
+    assert perfect_aware.qos >= perfect_blind.qos - 1e-9
+
+    # Intermediate accuracy: fault-awareness still takes no more hits, but
+    # the surviving (undetectable) hits are individually costlier.
+    assert mid_aware.failures_hitting_jobs <= mid_blind.failures_hitting_jobs
+    if mid_aware.failures_hitting_jobs and mid_blind.failures_hitting_jobs:
+        aware_per_hit = mid_aware.lost_work / mid_aware.failures_hitting_jobs
+        blind_per_hit = mid_blind.lost_work / mid_blind.failures_hitting_jobs
+        assert aware_per_hit >= blind_per_hit * 0.5  # severity does not vanish
+
+    time_representative_point(benchmark, sdsc_context, accuracy=1.0, user=USER)

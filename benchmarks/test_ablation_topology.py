@@ -1,0 +1,40 @@
+"""Ablation — allocation-shape constraints (flat vs ring vs mesh).
+
+The paper evaluates on a flat (all-to-all) cluster and notes that odd job
+sizes drive "temporal fragmentation".  Machines with contiguity
+constraints fragment harder: the ring needs contiguous runs, the 2-D mesh
+needs rectangles (and wastes nodes to internal fragmentation on awkward
+sizes).  This bench quantifies the queueing cost of shape constraints on
+the odd-sized SDSC mix.
+"""
+
+from __future__ import annotations
+
+from _support import time_representative_point
+
+ACCURACY = 0.5
+USER = 0.5
+
+
+def test_topology_ablation(benchmark, sdsc_context):
+    rows = []
+    for topology in ("flat", "ring", "mesh"):
+        metrics = sdsc_context.run_point(ACCURACY, USER, topology=topology)
+        rows.append((topology, metrics))
+
+    print()
+    print(f"{'topology':>8}  {'util':>7}  {'mean wait (s)':>14}  {'qos':>7}")
+    for name, m in rows:
+        print(f"{name:>8}  {m.utilization:7.4f}  {m.mean_wait:14.0f}  {m.qos:7.4f}")
+
+    flat = rows[0][1]
+    ring = rows[1][1]
+    mesh = rows[2][1]
+    # Everything completes under every topology.
+    assert flat.completed_jobs == ring.completed_jobs == mesh.completed_jobs
+    # Shape constraints can only hurt responsiveness: flat waits are the
+    # floor (generous tolerance — constrained placement occasionally gets
+    # lucky with failure avoidance).
+    assert flat.mean_wait <= min(ring.mean_wait, mesh.mean_wait) * 1.15 + 120.0
+
+    time_representative_point(benchmark, sdsc_context, accuracy=ACCURACY, user=USER)

@@ -1,0 +1,20 @@
+"""Figure 10 — average utilization vs user threshold at a = 1, NASA log.
+
+Paper shape: as Figure 9 but on the lighter NASA load; smaller absolute
+movement, no degradation as users become risk-averse.
+"""
+
+from __future__ import annotations
+
+from _support import show, time_representative_point
+
+
+def test_figure_10(benchmark, catalog, nasa_context):
+    figure = catalog.figure(10)
+    show(figure)
+
+    series = figure.series[0]
+    assert series.ys[-1] >= series.ys[0] - 0.02
+    assert all(0.2 <= y <= 0.95 for y in series.ys)
+
+    time_representative_point(benchmark, nasa_context, accuracy=1.0, user=0.3)

@@ -1,0 +1,21 @@
+"""Figure 11 — total work lost vs user threshold at a = 1, SDSC log.
+
+Paper shape: lost work falls steeply as U rises (≈2.3e7 → ≈0.25e7
+node-seconds in the paper — the "9 times less work lost" users): attentive
+users steer their jobs off partitions with predicted failures.
+"""
+
+from __future__ import annotations
+
+from _support import endpoint_ratio, show, time_representative_point
+
+
+def test_figure_11(benchmark, catalog, sdsc_context):
+    figure = catalog.figure(11)
+    show(figure)
+
+    series = figure.series[0]
+    assert endpoint_ratio(series) >= 2.0
+    assert series.ys[-1] <= min(series.ys) + 1e-9 or series.ys[-1] <= series.ys[0]
+
+    time_representative_point(benchmark, sdsc_context, accuracy=1.0, user=0.6)

@@ -1,0 +1,21 @@
+"""Figure 12 — total work lost vs user threshold at a = 1, NASA log.
+
+Paper shape: as Figure 11 on the NASA log — a steep decline with U, an
+order of magnitude below SDSC in absolute terms.
+"""
+
+from __future__ import annotations
+
+from _support import show, time_representative_point
+
+
+def test_figure_12(benchmark, catalog, nasa_context):
+    figure = catalog.figure(12)
+    show(figure)
+
+    series = figure.series[0]
+    # Falls with U (or is already ~zero throughout on a light load).
+    assert series.ys[-1] <= series.ys[0] + 1e-9
+    assert min(series.ys) >= 0.0
+
+    time_representative_point(benchmark, nasa_context, accuracy=1.0, user=0.6)

@@ -1,0 +1,27 @@
+"""Figure 1 — QoS vs prediction accuracy, SDSC log, U in {0.1, 0.5, 0.9}.
+
+Paper shape: QoS in the ~0.9-1 band; for U = 0.9 QoS rises with accuracy
+("nondecreasing as accuracy increases") and approaches 1 at perfect
+prediction; SDSC shows benefit even at low accuracy.
+"""
+
+from __future__ import annotations
+
+from _support import broadly_non_decreasing, endpoint_gain, show, time_representative_point
+
+
+def test_figure_1(benchmark, catalog, sdsc_context):
+    figure = catalog.figure(1)
+    show(figure)
+
+    high_u = figure.series_by_label("U=0.9")
+    # Rising trend (tolerating trace jaggedness) and a real endpoint gain.
+    assert broadly_non_decreasing(high_u.ys, slack=0.05)
+    assert endpoint_gain(high_u) > 0.0
+    # Perfect prediction with risk-averse users keeps nearly every promise.
+    assert high_u.ys[-1] >= 0.95
+    # Risk-averse users never fare worse than risk-ignoring ones at a = 1.
+    low_u = figure.series_by_label("U=0.1")
+    assert high_u.ys[-1] >= low_u.ys[-1] - 1e-9
+
+    time_representative_point(benchmark, sdsc_context, accuracy=0.5, user=0.9)

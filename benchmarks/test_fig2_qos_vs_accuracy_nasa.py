@@ -1,0 +1,24 @@
+"""Figure 2 — QoS vs prediction accuracy, NASA log, U in {0.1, 0.5, 0.9}.
+
+Paper shape: same rising trend as SDSC but gentler — the NASA load is
+lighter and its jobs far smaller, so less is at stake per failure; QoS
+stays in a high band throughout.
+"""
+
+from __future__ import annotations
+
+from _support import broadly_non_decreasing, endpoint_gain, show, time_representative_point
+
+
+def test_figure_2(benchmark, catalog, nasa_context):
+    figure = catalog.figure(2)
+    show(figure)
+
+    high_u = figure.series_by_label("U=0.9")
+    assert broadly_non_decreasing(high_u.ys, slack=0.05)
+    assert endpoint_gain(high_u) >= 0.0
+    assert high_u.ys[-1] >= 0.95
+    # NASA QoS never leaves a high band (small jobs, light load).
+    assert min(high_u.ys) >= 0.75
+
+    time_representative_point(benchmark, nasa_context, accuracy=0.5, user=0.9)

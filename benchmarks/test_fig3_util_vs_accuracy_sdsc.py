@@ -1,0 +1,26 @@
+"""Figure 3 — average utilization vs prediction accuracy, SDSC log.
+
+Paper shape: utilization *increases* with accuracy (the guarantees do not
+come at utilization's expense — Section 5.1), by a few points across the
+sweep for attentive users.
+"""
+
+from __future__ import annotations
+
+from _support import endpoint_gain, show, time_representative_point
+
+
+def test_figure_3(benchmark, catalog, sdsc_context):
+    figure = catalog.figure(3)
+    show(figure)
+
+    high_u = figure.series_by_label("U=0.9")
+    # Prediction never costs utilization at the endpoint, and typically
+    # buys a few points (the paper reports up to ~6%).
+    assert endpoint_gain(high_u) >= -0.005
+    assert high_u.ys[-1] >= max(high_u.ys) - 0.05
+    # All series stay in a plausible utilization band for this load.
+    for series in figure.series:
+        assert all(0.2 <= y <= 0.95 for y in series.ys), series
+
+    time_representative_point(benchmark, sdsc_context, accuracy=0.8, user=0.5)

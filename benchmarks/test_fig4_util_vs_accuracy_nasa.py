@@ -1,0 +1,24 @@
+"""Figure 4 — average utilization vs prediction accuracy, NASA log.
+
+Paper shape: a gentler version of Figure 3 (lighter load, smaller jobs);
+utilization does not degrade as prediction improves.
+"""
+
+from __future__ import annotations
+
+from _support import endpoint_gain, show, time_representative_point
+
+
+def test_figure_4(benchmark, catalog, nasa_context):
+    figure = catalog.figure(4)
+    show(figure)
+
+    # NASA's utilization movements are small in the paper (≈0.55 → 0.59)
+    # and on reduced logs the drain tail dominates; require only that
+    # prediction does not meaningfully degrade utilization.
+    high_u = figure.series_by_label("U=0.9")
+    assert endpoint_gain(high_u) >= -0.02
+    for series in figure.series:
+        assert all(0.2 <= y <= 0.95 for y in series.ys), series
+
+    time_representative_point(benchmark, nasa_context, accuracy=0.8, user=0.5)

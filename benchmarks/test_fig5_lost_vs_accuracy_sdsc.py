@@ -1,0 +1,29 @@
+"""Figure 5 — total work lost vs prediction accuracy, SDSC log.
+
+Paper shape: lost work is the most accuracy-sensitive metric, falling
+roughly an order of magnitude from a = 0 to a = 1 (4.5e7 → 0.5e7
+node-seconds in the paper, a factor of ~9); higher-U users lose less at
+every accuracy.
+"""
+
+from __future__ import annotations
+
+from _support import endpoint_ratio, show, time_representative_point
+
+
+def test_figure_5(benchmark, catalog, sdsc_context):
+    figure = catalog.figure(5)
+    show(figure)
+
+    high_u = figure.series_by_label("U=0.9")
+    low_u = figure.series_by_label("U=0.1")
+    # Strong reduction across the sweep for every user strategy.
+    assert endpoint_ratio(high_u) >= 3.0
+    assert endpoint_ratio(low_u) >= 3.0
+    # Lost work ends far below where it starts; the maximum sits at or
+    # near the no-prediction end.
+    assert high_u.ys[-1] < min(high_u.ys[0], max(high_u.ys)) + 1e-9
+    # Risk-averse users lose no more than risk-ignoring users at a = 1.
+    assert high_u.ys[-1] <= low_u.ys[-1] + 1e-9
+
+    time_representative_point(benchmark, sdsc_context, accuracy=0.2, user=0.1)

@@ -1,0 +1,27 @@
+"""Figure 6 — total work lost vs prediction accuracy, NASA log.
+
+Paper shape: same falling trend as Figure 5 but roughly an order of
+magnitude smaller in absolute terms ("the SDSC log typically resulted in 10
+times the amount of lost work as the NASA log"); even low accuracy reduces
+lost work.
+"""
+
+from __future__ import annotations
+
+from _support import endpoint_ratio, show, time_representative_point
+
+
+def test_figure_6(benchmark, catalog, nasa_context):
+    figure_nasa = catalog.figure(6)
+    show(figure_nasa)
+    figure_sdsc = catalog.figure(5)
+
+    high_u = figure_nasa.series_by_label("U=0.9")
+    assert endpoint_ratio(high_u) >= 2.0 or high_u.ys[0] == 0.0
+
+    # Cross-log claim: SDSC loses roughly an order of magnitude more work.
+    sdsc_baseline = figure_sdsc.series_by_label("U=0.1").ys[0]
+    nasa_baseline = figure_nasa.series_by_label("U=0.1").ys[0]
+    assert sdsc_baseline > 4.0 * nasa_baseline
+
+    time_representative_point(benchmark, nasa_context, accuracy=0.2, user=0.1)

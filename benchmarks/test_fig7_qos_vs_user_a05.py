@@ -1,0 +1,33 @@
+"""Figure 7 — QoS vs user threshold at a = 0.5, SDSC log.
+
+Paper shape: a plateau where the user parameter never binds, because the
+predictor never reports a failure probability above its accuracy cap.
+
+Interpretation note (DESIGN.md note 1): implementing Equation 3 literally
+(accept when ``1 − p_f ≥ U`` with ``p_f ≤ a``) puts the plateau at
+``U ≤ 1 − a`` — the low-U half at a = 0.5 — rather than the paper's
+worded ``a < U`` region; the *existence and width* of the plateau is the
+reproduced phenomenon.
+"""
+
+from __future__ import annotations
+
+from _support import plateau_width, show, time_representative_point
+
+
+def test_figure_7(benchmark, catalog, sdsc_context):
+    figure = catalog.figure(7)
+    show(figure)
+
+    series = figure.series[0]
+    # U is swept 0..1 in 0.1 steps; with a = 0.5 the first six points
+    # (U <= 0.5 = 1 - a) cannot bind and must be exactly constant.
+    assert plateau_width(series.ys) >= 6
+    # The varying region is jagged — exactly as the paper's Figure 7 is
+    # (its own curve dips non-monotonically within a ~0.04 band): half the
+    # failures are invisible at a = 0.5, so demanding higher promises
+    # reshuffles rather than reliably improves outcomes.  Assert the band,
+    # not monotonicity.
+    assert all(abs(y - series.ys[0]) <= 0.05 for y in series.ys)
+
+    time_representative_point(benchmark, sdsc_context, accuracy=0.5, user=0.7)

@@ -1,0 +1,24 @@
+"""Figure 8 — QoS vs user threshold at a = 1, SDSC and NASA logs.
+
+Paper shape: QoS increases with U — "the higher the probability of success
+required by the users, the better the system is able to meet promised
+deadlines" — reaching (nearly) 1 at U = 1 with the idealised predictor.
+"""
+
+from __future__ import annotations
+
+from _support import broadly_non_decreasing, show, time_representative_point
+
+
+def test_figure_8(benchmark, catalog, sdsc_context):
+    figure = catalog.figure(8)
+    show(figure)
+
+    for label in ("SDSC", "NASA"):
+        series = figure.series_by_label(label)
+        assert broadly_non_decreasing(series.ys, slack=0.05), label
+        assert series.ys[-1] >= series.ys[0] - 1e-9, label
+        # Perfect prediction + fully risk-averse users: promises all kept.
+        assert series.ys[-1] >= 0.98, label
+
+    time_representative_point(benchmark, sdsc_context, accuracy=1.0, user=1.0)

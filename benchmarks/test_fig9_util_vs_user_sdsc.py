@@ -1,0 +1,22 @@
+"""Figure 9 — average utilization vs user threshold at a = 1, SDSC log.
+
+Paper shape: utilization improves as users extend deadlines (≈0.68 → 0.72
+in the paper): avoided failures save more capacity than the extra waiting
+costs, because the vacated slots are backfilled by later arrivals.
+"""
+
+from __future__ import annotations
+
+from _support import show, time_representative_point
+
+
+def test_figure_9(benchmark, catalog, sdsc_context):
+    figure = catalog.figure(9)
+    show(figure)
+
+    series = figure.series[0]
+    # Risk-averse users do not cost utilization overall.
+    assert series.ys[-1] >= series.ys[0] - 0.01
+    assert all(0.2 <= y <= 0.95 for y in series.ys)
+
+    time_representative_point(benchmark, sdsc_context, accuracy=1.0, user=0.3)

@@ -1,0 +1,57 @@
+"""Sensitivity — the checkpoint interval I the paper fixes at 3600 s.
+
+The paper's companion study (periodic checkpointing, IPDPS'05 workshop)
+motivates the choice of I: too small burns overhead, too large loses more
+work per failure.  This bench sweeps I under the *periodic* policy (where
+the trade-off is raw) and under the *cooperative* policy (which should
+flatten it — mis-tuned intervals matter less when low-risk checkpoints are
+skipped).
+"""
+
+from __future__ import annotations
+
+from _support import time_representative_point
+from repro.experiments.sensitivity import sweep_checkpoint_interval
+
+INTERVALS = [900.0, 1800.0, 3600.0, 7200.0, 14400.0]
+ACCURACY = 0.5
+USER = 0.5
+
+
+def test_checkpoint_interval_sensitivity(benchmark, sdsc_context):
+    periodic = sweep_checkpoint_interval(
+        sdsc_context, INTERVALS, ACCURACY, USER, checkpoint_policy="periodic"
+    )
+    cooperative = sweep_checkpoint_interval(
+        sdsc_context, INTERVALS, ACCURACY, USER, checkpoint_policy="cooperative"
+    )
+
+    print()
+    print(f"{'I (s)':>7}  {'policy':>12}  {'util':>7}  {'lost (node-s)':>14}  "
+          f"{'ckpt overhead (s)':>18}")
+    for series, name in ((periodic, "periodic"), (cooperative, "cooperative")):
+        for point in series:
+            m = point.metrics
+            print(
+                f"{point.value:7.0f}  {name:>12}  {m.utilization:7.4f}  "
+                f"{m.lost_work:14.3e}  {m.checkpoint_overhead:18.0f}"
+            )
+
+    # Periodic: overhead falls monotonically as I grows...
+    overheads = [p.metrics.checkpoint_overhead for p in periodic]
+    assert all(a >= b for a, b in zip(overheads, overheads[1:]))
+    # ...while the per-failure exposure (lost work) trends up.
+    assert periodic[-1].metrics.lost_work >= periodic[0].metrics.lost_work * 0.8
+    # Cooperative pays far less overhead at every interval.
+    for c, p in zip(cooperative, periodic):
+        assert c.metrics.checkpoint_overhead <= p.metrics.checkpoint_overhead
+
+    # Cooperative flattens the interval sensitivity: utilization spread
+    # across intervals is no larger than periodic's (with slack for noise).
+    def spread(series):
+        values = [p.metrics.utilization for p in series]
+        return max(values) - min(values)
+
+    assert spread(cooperative) <= spread(periodic) + 0.02
+
+    time_representative_point(benchmark, sdsc_context, accuracy=ACCURACY, user=USER)

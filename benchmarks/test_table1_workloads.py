@@ -1,0 +1,35 @@
+"""Table 1 — job-log characteristics of the NASA and SDSC logs."""
+
+from __future__ import annotations
+
+from repro.experiments.config import bench_job_count, bench_seed
+from repro.experiments.reporting import format_table1
+from repro.experiments.tables import PAPER_TABLE1, table_1
+
+
+def test_table1(benchmark):
+    """Regenerate Table 1 and check the marginals against the paper."""
+    seed = bench_seed()
+    jobs = bench_job_count()
+
+    rows = benchmark.pedantic(
+        lambda: table_1(seed=seed, job_count=jobs), rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(rows))
+
+    by_name = {row.log_name.lower(): row for row in rows}
+    for name, reference in PAPER_TABLE1.items():
+        row = by_name[name]
+        # Means within 20% of the paper (synthetic logs, finite samples).
+        assert abs(row.avg_nodes - reference["avg_nodes"]) <= 0.2 * reference[
+            "avg_nodes"
+        ], f"{name}: avg size {row.avg_nodes} too far from {reference['avg_nodes']}"
+        assert abs(row.avg_runtime - reference["avg_runtime"]) <= 0.2 * reference[
+            "avg_runtime"
+        ], f"{name}: avg runtime {row.avg_runtime} off {reference['avg_runtime']}"
+        # Max runtime bounded by the paper's machine limit.
+        assert row.max_runtime_hours <= reference["max_runtime_hours"] + 1e-6
+
+    # The SDSC log is the long-job workload: order-of-magnitude longer jobs.
+    assert by_name["sdsc"].avg_runtime > 10 * by_name["nasa"].avg_runtime

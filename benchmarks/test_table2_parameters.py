@@ -1,0 +1,24 @@
+"""Table 2 — the simulation parameters the evaluation fixes."""
+
+from __future__ import annotations
+
+from repro.core.system import SystemConfig
+from repro.experiments.reporting import format_pairs
+from repro.experiments.tables import table_2
+
+
+def test_table2(benchmark):
+    """Regenerate Table 2 and check it matches the defaults the system
+    actually simulates with."""
+    pairs = benchmark.pedantic(table_2, rounds=1, iterations=1)
+    print()
+    print(format_pairs("Table 2: Simulation parameters", pairs))
+
+    values = dict(pairs)
+    config = SystemConfig()
+    assert int(values["N (nodes)"]) == config.node_count == 128
+    assert float(values["C (s)"]) == config.checkpoint_overhead == 720.0
+    assert float(values["I (s)"]) == config.checkpoint_interval == 3600.0
+    assert float(values["downtime (s)"]) == config.downtime == 120.0
+    assert values["a"] == "[0, 1]"
+    assert values["U"] == "[0, 1]"

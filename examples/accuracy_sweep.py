@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Sweep prediction accuracy and watch all three metrics respond.
+
+Reproduces the Figure 1/3/5 experiment at reduced size: QoS, utilization
+and lost work versus the accuracy knob ``a`` on the SDSC-like log, for a
+risk-averse user population (U = 0.9), plus the paper's headline endpoint
+comparison.
+
+Run:  python examples/accuracy_sweep.py            (about a minute)
+      REPRO_BENCH_JOBS=400 python examples/accuracy_sweep.py   (fast)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.reporting import format_headline, sparkline
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.sweeps import accuracy_sweep, endpoint_comparison
+
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "800"))
+USER = 0.9
+
+
+def main() -> None:
+    ctx = ExperimentContext.prepare(
+        ExperimentSetup(workload="sdsc", job_count=JOBS, seed=13)
+    )
+    print(f"SDSC-like log, {JOBS} jobs, U={USER}: sweeping a = 0 .. 1\n")
+
+    qos = accuracy_sweep(ctx, "qos", [USER])[0]
+    util = accuracy_sweep(ctx, "utilization", [USER])[0]
+    lost = accuracy_sweep(ctx, "lost_work", [USER])[0]
+
+    print(f"{'a':>4}  {'QoS':>8}  {'util':>8}  {'lost work (node-s)':>20}")
+    for (a, q), (_, u), (_, l) in zip(qos.points, util.points, lost.points):
+        print(f"{a:4.1f}  {q:8.4f}  {u:8.4f}  {l:20.3e}")
+
+    print(f"\nQoS shape:  {sparkline(qos.ys)}")
+    print(f"util shape: {sparkline(util.ys)}")
+    print(f"lost shape: {sparkline(lost.ys)}  (falling = good)\n")
+
+    print(format_headline(endpoint_comparison(ctx, user_threshold=USER)))
+
+
+if __name__ == "__main__":
+    main()

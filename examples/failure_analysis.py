@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Characterise failure traces and see why trace-driven evaluation matters.
+
+The paper insists on trace-driven failures because "typical statistical
+failure models are poor indicators of actual system behavior".  This
+example makes that concrete:
+
+1. generate a year-long AIX-like failure trace and summarise it against the
+   paper's reported aggregates (2.8/day, cluster MTBF 8.5 h, node MTBF
+   ~6.5 weeks);
+2. show the structure renewal models miss: burstiness (inter-arrival CV),
+   spatial skew (worst decile of nodes), and the diurnal cycle;
+3. run the *same workload* under the bursty trace and under Poisson
+   failures at an identical rate, and compare outcomes.
+
+Run:  python examples/failure_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core.system import SystemConfig, simulate
+from repro.experiments.runner import estimate_horizon
+from repro.failures import (
+    RenewalSpec,
+    generate_failure_trace,
+    generate_renewal_trace,
+    hourly_histogram,
+    summarize_trace,
+)
+from repro.workload import sdsc_log
+
+SEED = 17
+YEAR = 365 * 86400.0
+
+
+def describe(tag, summary) -> None:
+    print(
+        f"  {tag:<12} {summary.event_count:4d} events  "
+        f"{summary.rate_per_day:4.1f}/day  "
+        f"cluster MTBF {summary.cluster_mtbf_hours:5.1f} h  "
+        f"node MTBF {summary.node_mtbf_weeks:4.1f} wk  "
+        f"CV {summary.burstiness_cv:4.2f}  "
+        f"top-decile share {summary.top_decile_share:.0%}"
+    )
+
+
+def main() -> None:
+    bursty = generate_failure_trace(YEAR, seed=SEED)
+    poisson = generate_renewal_trace(YEAR, RenewalSpec(shape=1.0), seed=SEED)
+
+    print("trace characterisation (paper: 2.8/day, MTBF 8.5 h, ~6.5 wk/node):")
+    describe("bursty:", summarize_trace(bursty, nodes=128))
+    describe("poisson:", summarize_trace(poisson, nodes=128))
+
+    histogram = hourly_histogram(bursty)
+    peak = max(range(24), key=lambda h: histogram[h])
+    trough = min(range(24), key=lambda h: histogram[h])
+    print(
+        f"\ndiurnal cycle: peak hour {peak:02d}:00 ({histogram[peak]} events) vs "
+        f"trough {trough:02d}:00 ({histogram[trough]})"
+    )
+
+    print("\nsame workload, same rate, different failure structure:")
+    log = sdsc_log(seed=SEED, job_count=600)
+    horizon = estimate_horizon(log, 128)
+    config = SystemConfig(accuracy=0.7, user_threshold=0.5, seed=SEED)
+    for tag, trace in (("bursty", bursty), ("poisson", poisson)):
+        m = simulate(config, log, trace).metrics
+        print(
+            f"  {tag:>8}: QoS={m.qos:.4f} util={m.utilization:.4f} "
+            f"lost={m.lost_work:.3e} hits={m.failures_hitting_jobs}"
+        )
+    print(
+        "\nreading: at identical rates, the clustering and skew of real "
+        "failures change who gets hit and how hard — which is exactly what "
+        "prediction and fault-aware placement exploit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs to build a wheel under PEP
+660; offline boxes without `wheel` can fall back to
+`python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,131 @@
+"""ASCII schedule visualisation from a simulation trace.
+
+Renders a node-by-time occupancy chart — the classic scheduling Gantt — from
+the records of a :class:`~repro.analysis.tracelog.TraceRecorder`:
+
+* digits/letters mark which job occupies a node (job ids are mapped to a
+  compact symbol alphabet, reused cyclically);
+* ``#`` marks a node inside its repair window;
+* ``.`` marks idle.
+
+Intended for small demonstration clusters (examples, debugging, teaching);
+for a 128-node production sweep the JSONL trace export is the right tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tracelog import TraceRecorder
+
+_SYMBOLS = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_DOWN, _IDLE = "#", "."
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """A half-open occupancy interval of one node by one job."""
+
+    node: int
+    job_id: int
+    start: float
+    end: float
+
+
+def occupancy_intervals(recorder: TraceRecorder) -> List[Occupancy]:
+    """Reconstruct per-node occupancy from start/finish/kill records."""
+    open_runs: Dict[Tuple[int, int], float] = {}  # (job, node) -> start
+    intervals: List[Occupancy] = []
+    for record in recorder:
+        if record.kind == "start":
+            for node in record.detail.get("nodes", []):
+                open_runs[(record.job_id, node)] = record.time
+        elif record.kind in ("finish", "killed", "evacuated"):
+            for (job_id, node), started in list(open_runs.items()):
+                if job_id == record.job_id:
+                    intervals.append(
+                        Occupancy(
+                            node=node,
+                            job_id=job_id,
+                            start=started,
+                            end=record.time,
+                        )
+                    )
+                    del open_runs[(job_id, node)]
+    intervals.sort(key=lambda o: (o.node, o.start))
+    return intervals
+
+
+def downtime_intervals(recorder: TraceRecorder) -> List[Tuple[int, float, float]]:
+    """Reconstruct per-node repair windows from node_down/node_up records."""
+    down_since: Dict[int, float] = {}
+    intervals: List[Tuple[int, float, float]] = []
+    for record in recorder:
+        if record.kind == "node_down" and record.node is not None:
+            down_since.setdefault(record.node, record.time)
+        elif record.kind == "node_up" and record.node is not None:
+            started = down_since.pop(record.node, None)
+            if started is not None:
+                intervals.append((record.node, started, record.time))
+    return intervals
+
+
+def render_gantt(
+    recorder: TraceRecorder,
+    node_count: int,
+    width: int = 72,
+    end_time: Optional[float] = None,
+) -> str:
+    """Render the schedule as one text row per node.
+
+    Args:
+        recorder: A trace with at least start/finish records.
+        node_count: Number of node rows to draw.
+        width: Chart columns; each column is one time bucket.
+        end_time: Chart horizon; defaults to the last record's time.
+
+    Returns:
+        The chart plus a legend mapping symbols to job ids.
+    """
+    records = recorder.records
+    if not records:
+        return "(empty trace)"
+    horizon = end_time if end_time is not None else max(r.time for r in records)
+    if horizon <= 0:
+        return "(trace has no duration)"
+    bucket = horizon / width
+
+    grid = [[_IDLE] * width for _ in range(node_count)]
+
+    def paint(node: int, start: float, end: float, symbol: str) -> None:
+        if node >= node_count:
+            return
+        first = min(width - 1, max(0, int(start / bucket)))
+        last = min(width - 1, max(0, int(max(end - 1e-9, start) / bucket)))
+        for column in range(first, last + 1):
+            grid[node][column] = symbol
+
+    for node, start, end in downtime_intervals(recorder):
+        paint(node, start, end, _DOWN)
+
+    legend: Dict[int, str] = {}
+    for interval in occupancy_intervals(recorder):
+        symbol = legend.setdefault(
+            interval.job_id, _SYMBOLS[len(legend) % len(_SYMBOLS)]
+        )
+        paint(interval.node, interval.start, interval.end, symbol)
+
+    lines = [
+        f"t = 0 .. {horizon:.0f}s, one column = {bucket:.0f}s; "
+        f"'{_DOWN}' down, '{_IDLE}' idle"
+    ]
+    for node in range(node_count):
+        lines.append(f"node {node:>3} |{''.join(grid[node])}|")
+    if legend:
+        mapping = ", ".join(
+            f"{symbol}=job {job_id}"
+            for job_id, symbol in sorted(legend.items())[:20]
+        )
+        lines.append(f"jobs: {mapping}" + (" ..." if len(legend) > 20 else ""))
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Checkpointing: cooperative (risk-based) policy, baselines, run state."""
+
+from repro.checkpointing.policies import (
+    CheckpointDecisionContext,
+    CheckpointPolicy,
+    CooperativePolicy,
+    NeverPolicy,
+    PeriodicPolicy,
+    RiskFreePolicy,
+    policy_by_name,
+)
+from repro.checkpointing.runtime import JobRun, padded_remaining
+
+__all__ = [
+    "CheckpointDecisionContext",
+    "CheckpointPolicy",
+    "CooperativePolicy",
+    "NeverPolicy",
+    "PeriodicPolicy",
+    "RiskFreePolicy",
+    "policy_by_name",
+    "JobRun",
+    "padded_remaining",
+]

@@ -1,0 +1,176 @@
+"""Checkpointing policies, including the paper's cooperative scheme.
+
+In cooperative checkpointing (Section 3.4) the *application* requests a
+checkpoint every ``I`` seconds of execution and the *system* decides whether
+to perform or skip it.  The risk-based heuristic performs checkpoint ``i``
+iff the expected lost work from skipping exceeds the overhead:
+
+    p_f * d * I  >=  C                                  (Equation 1)
+
+where ``p_f`` is the predicted probability that the job's partition fails
+before the next checkpoint would complete, ``d - 1`` is the number of
+consecutively skipped requests (so ``d * I`` is the execution time at risk),
+and ``C`` is the checkpoint overhead.
+
+A second, deadline-driven rule overrides Equation 1: "even if
+``p_f d I >= C``, the checkpoint will be skipped if doing so might allow a
+job to meet a deadline that it would otherwise miss."
+
+The policy object sees one :class:`CheckpointDecisionContext` per request
+and returns perform/skip; all timing bookkeeping lives in
+:mod:`repro.checkpointing.runtime`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.prediction.base import Predictor
+
+
+@dataclass(frozen=True)
+class CheckpointDecisionContext:
+    """Everything a policy may consult for one checkpoint request.
+
+    Attributes:
+        now: Request time ``b_i`` (seconds).
+        job_id: Requesting job.
+        nodes: Partition the job occupies.
+        interval: Checkpoint interval ``I`` (seconds of execution between
+            requests).
+        overhead: Checkpoint overhead ``C`` (seconds).
+        skipped_since_checkpoint: Consecutive skipped requests since the
+            last completed checkpoint (or run start); the paper's ``d - 1``.
+        remaining_work: Execution seconds left after this request point.
+        deadline: The job's negotiated deadline, or None if none was set.
+        predictor: The system's event predictor.
+    """
+
+    now: float
+    job_id: int
+    nodes: Sequence[int]
+    interval: float
+    overhead: float
+    skipped_since_checkpoint: int
+    remaining_work: float
+    deadline: Optional[float]
+    predictor: Predictor
+
+    @property
+    def d(self) -> int:
+        """The paper's ``d``: intervals of execution currently at risk."""
+        return self.skipped_since_checkpoint + 1
+
+    def failure_probability(self) -> float:
+        """``p_f`` over the window ending when the *next* checkpoint would
+        complete: perform now (C) + run one interval (I) + perform (C)."""
+        horizon = self.overhead + min(self.interval, self.remaining_work) + self.overhead
+        return self.predictor.failure_probability(
+            self.nodes, self.now, self.now + horizon
+        )
+
+    def meets_deadline_if(self, perform: bool) -> Optional[bool]:
+        """Whether the projected finish meets the deadline.
+
+        The projection charges only *this* request's overhead — later
+        requests re-decide with fresher information, so charging their
+        overhead now would double-count the system's future flexibility.
+        Returns None when the job has no deadline.
+        """
+        if self.deadline is None:
+            return None
+        projected = self.now + self.remaining_work + (self.overhead if perform else 0.0)
+        return projected <= self.deadline
+
+
+class CheckpointPolicy(abc.ABC):
+    """Decides, per request, whether a checkpoint is performed."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
+        """True to perform the requested checkpoint, False to skip it."""
+
+
+class PeriodicPolicy(CheckpointPolicy):
+    """Always perform: classical periodic checkpointing (no cooperation)."""
+
+    name = "periodic"
+
+    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
+        return True
+
+
+class NeverPolicy(CheckpointPolicy):
+    """Never perform: the no-checkpointing lower bound for ablations."""
+
+    name = "never"
+
+    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
+        return False
+
+
+class CooperativePolicy(CheckpointPolicy):
+    """The paper's risk-based cooperative policy (Equation 1 + deadline rule).
+
+    Args:
+        deadline_aware: Enable the deadline-override rule.  The paper's
+            system uses it; disable for the pure Equation 1 ablation.
+    """
+
+    name = "cooperative"
+
+    def __init__(self, deadline_aware: bool = True) -> None:
+        self.deadline_aware = deadline_aware
+
+    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
+        p_f = ctx.failure_probability()
+        risk_says_perform = p_f * ctx.d * ctx.interval >= ctx.overhead
+        if not risk_says_perform:
+            return False
+        if self.deadline_aware:
+            meets_if_perform = ctx.meets_deadline_if(perform=True)
+            meets_if_skip = ctx.meets_deadline_if(perform=False)
+            if meets_if_perform is False and meets_if_skip is True:
+                # Skipping might rescue the promise; take the risk.
+                return False
+        return True
+
+
+class RiskFreePolicy(CheckpointPolicy):
+    """Perform only when a failure is *predicted at all* (p_f > 0).
+
+    A useful intermediate for ablations: cheaper than periodic, blinder
+    than Equation 1 (ignores how much work is at risk).
+    """
+
+    name = "risk-free"
+
+    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
+        return ctx.failure_probability() > 0.0
+
+
+def policy_by_name(name: str, deadline_aware: bool = True) -> CheckpointPolicy:
+    """Factory for the bundled policies.
+
+    Args:
+        name: ``"cooperative"`` (paper), ``"periodic"``, ``"never"`` or
+            ``"risk-free"``.
+        deadline_aware: Passed through to :class:`CooperativePolicy`.
+    """
+    key = name.lower()
+    if key == "cooperative":
+        return CooperativePolicy(deadline_aware=deadline_aware)
+    if key == "periodic":
+        return PeriodicPolicy()
+    if key == "never":
+        return NeverPolicy()
+    if key == "risk-free":
+        return RiskFreePolicy()
+    raise KeyError(
+        f"unknown checkpoint policy {name!r}; available: "
+        "cooperative, periodic, never, risk-free"
+    )

@@ -1,0 +1,299 @@
+"""Command-line interface: regenerate figures/tables, run single points.
+
+Examples::
+
+    probqos table 1
+    probqos table 2
+    probqos figure 5 --jobs 2000 --seed 7
+    probqos run --workload sdsc --accuracy 0.8 --user 0.9 --jobs 1500
+    probqos headline --workload sdsc
+    probqos suggest --workload sdsc --size 32 --runtime 7200 --target 0.95
+    probqos report --jobs 2000 --figures 1 5 8
+    probqos gantt --workload nasa --nodes 16 --width 72
+    probqos export bundles/sdsc-seed7 --workload sdsc --jobs 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentSetup, bench_seed
+from repro.experiments.figures import FigureCatalog
+from repro.experiments.reporting import (
+    format_figure,
+    format_headline,
+    format_pairs,
+    format_table1,
+)
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.tables import table_1, table_2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="probqos",
+        description=(
+            "Probabilistic QoS guarantees for supercomputing systems "
+            "(DSN 2005 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure (1-12)")
+    fig.add_argument("number", type=int, help="figure number, 1-12")
+    _add_env_args(fig)
+
+    tab = sub.add_parser("table", help="regenerate a paper table (1-2)")
+    tab.add_argument("number", type=int, help="table number, 1 or 2")
+    _add_env_args(tab)
+
+    run = sub.add_parser("run", help="simulate one (a, U) point")
+    run.add_argument("--accuracy", "-a", type=float, default=0.5)
+    run.add_argument("--user", "-U", type=float, default=0.5, dest="user_threshold")
+    run.add_argument("--policy", default="cooperative")
+    run.add_argument("--placement", default="fault-aware")
+    run.add_argument("--topology", default="flat")
+    _add_env_args(run)
+
+    head = sub.add_parser("headline", help="no-prediction vs perfect endpoints")
+    _add_env_args(head)
+
+    suggest = sub.add_parser(
+        "suggest", help="suggest the earliest deadline hitting a target probability"
+    )
+    suggest.add_argument("--size", type=int, required=True, help="nodes (n_j)")
+    suggest.add_argument(
+        "--runtime", type=float, required=True, help="runtime e_j, seconds"
+    )
+    suggest.add_argument("--target", type=float, default=0.95)
+    suggest.add_argument("--accuracy", "-a", type=float, default=0.7)
+    _add_env_args(suggest)
+
+    export = sub.add_parser(
+        "export", help="write an experiment bundle (SWF + failures) to disk"
+    )
+    export.add_argument("directory", help="bundle directory to create")
+    _add_env_args(export)
+
+    gantt = sub.add_parser(
+        "gantt", help="simulate a small scenario and print its schedule chart"
+    )
+    gantt.add_argument("--nodes", type=int, default=16)
+    gantt.add_argument("--accuracy", "-a", type=float, default=0.5)
+    gantt.add_argument("--width", type=int, default=72)
+    _add_env_args(gantt)
+
+    report = sub.add_parser(
+        "report", help="regenerate the paper's entire evaluation as text"
+    )
+    report.add_argument(
+        "--figures",
+        type=int,
+        nargs="*",
+        default=None,
+        help="figure numbers to include (default: all 12)",
+    )
+    _add_env_args(report)
+    return parser
+
+
+def _add_env_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="sdsc", choices=["nasa", "sdsc"])
+    parser.add_argument("--jobs", type=int, default=1500, help="jobs in the log")
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _setup(args: argparse.Namespace) -> ExperimentSetup:
+    seed = args.seed if args.seed is not None else bench_seed()
+    return ExperimentSetup(workload=args.workload, job_count=args.jobs, seed=seed)
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    catalog = FigureCatalog()
+    workloads = (
+        ("sdsc", "nasa") if args.number == 8 else (_figure_workload(args.number),)
+    )
+    for name in workloads:
+        catalog._contexts[name] = ExperimentContext.prepare(
+            ExperimentSetup(workload=name, job_count=args.jobs, seed=_setup(args).seed)
+        )
+    print(format_figure(catalog.figure(args.number)))
+    return 0
+
+
+def _figure_workload(number: int) -> str:
+    sdsc_figures = {1, 3, 5, 7, 9, 11}
+    return "sdsc" if number in sdsc_figures else "nasa"
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        print(format_table1(table_1(seed=_setup(args).seed, job_count=args.jobs)))
+        return 0
+    if args.number == 2:
+        print(format_pairs("Table 2: Simulation parameters", table_2()))
+        return 0
+    print(f"the paper has tables 1 and 2; got {args.number}", file=sys.stderr)
+    return 2
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ctx = ExperimentContext.prepare(_setup(args))
+    metrics = ctx.run_point(
+        args.accuracy,
+        args.user_threshold,
+        checkpoint_policy=args.policy,
+        placement=args.placement,
+        topology=args.topology,
+    )
+    pairs = [
+        ("QoS", f"{metrics.qos:.4f}"),
+        ("Avg utilization", f"{metrics.utilization:.4f}"),
+        ("Work lost (node-s)", f"{metrics.lost_work:.3e}"),
+        ("Span (days)", f"{metrics.span / 86400.0:.2f}"),
+        ("Jobs completed", f"{metrics.completed_jobs}/{metrics.job_count}"),
+        ("Deadlines met", f"{metrics.deadlines_met}"),
+        ("Failures hitting jobs", f"{metrics.failures_hitting_jobs}"),
+        (
+            "Checkpoints (performed/skipped)",
+            f"{metrics.checkpoints_performed}/{metrics.checkpoints_skipped}",
+        ),
+        ("Mean wait (s)", f"{metrics.mean_wait:.0f}"),
+        ("Mean promised p", f"{metrics.mean_promised_probability:.4f}"),
+    ]
+    print(
+        format_pairs(
+            f"{args.workload.upper()}: a={args.accuracy:g}, U={args.user_threshold:g},"
+            f" policy={args.policy}, placement={args.placement}",
+            pairs,
+        )
+    )
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    ctx = ExperimentContext.prepare(_setup(args))
+    catalog = FigureCatalog(**{args.workload: ctx})
+    print(format_headline(catalog.headline_comparison(args.workload)))
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    from repro.core.system import ProbabilisticQoSSystem, SystemConfig
+    from repro.workload.job import Job, JobLog
+
+    setup = _setup(args)
+    ctx = ExperimentContext.prepare(setup)
+    config = SystemConfig(accuracy=args.accuracy, seed=setup.seed)
+    system = ProbabilisticQoSSystem(config, JobLog([], name="empty"), ctx.failures)
+    probe = Job(job_id=1, arrival_time=0.0, size=args.size, runtime=args.runtime)
+    padded = probe.padded_runtime(
+        config.checkpoint_interval, config.checkpoint_overhead
+    )
+    offer = system.scheduler.negotiator.suggest_deadline(
+        args.size, padded, now=0.0, target_probability=args.target
+    )
+    if offer is None:
+        print("no offer reaches the target probability within the dialogue cap")
+        return 1
+    print(
+        format_pairs(
+            f"Suggested deadline for {args.size} nodes x {args.runtime:g}s "
+            f"(target p >= {args.target:g}, a={args.accuracy:g})",
+            [
+                ("start (s)", f"{offer.start:.0f}"),
+                ("deadline (s)", f"{offer.deadline:.0f}"),
+                ("promised p", f"{offer.probability:.4f}"),
+                ("predicted p_f", f"{offer.failure_probability:.4f}"),
+                ("partition", ", ".join(str(n) for n in offer.nodes[:16]) +
+                 ("..." if len(offer.nodes) > 16 else "")),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import estimate_horizon
+    from repro.workload.archive import ensure_bundle
+    from repro.workload.synthetic import log_by_name
+
+    setup = _setup(args)
+    probe = log_by_name(setup.workload, seed=setup.seed, job_count=args.jobs)
+    horizon = estimate_horizon(probe, 128)
+    log, failures, manifest = ensure_bundle(
+        args.directory, setup.workload, args.jobs, setup.seed, horizon
+    )
+    print(
+        f"bundle written to {args.directory}: {manifest.job_count} jobs, "
+        f"{manifest.failure_count} failures, seed {manifest.seed}"
+    )
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.analysis import TraceRecorder, render_gantt
+    from repro.core.system import ProbabilisticQoSSystem, SystemConfig
+    from repro.experiments.runner import estimate_horizon
+    from repro.failures.generator import FailureModelSpec, generate_failure_trace
+    from repro.workload.synthetic import log_by_name
+
+    setup = _setup(args)
+    jobs = min(args.jobs, 60)  # a readable chart needs a small scenario
+    log = log_by_name(setup.workload, seed=setup.seed, job_count=jobs)
+    log = log.scaled_sizes(args.nodes)
+    horizon = estimate_horizon(log, args.nodes)
+    failures = generate_failure_trace(
+        horizon,
+        spec=FailureModelSpec(nodes=args.nodes, rate_per_day=8.0),
+        seed=setup.seed,
+    )
+    recorder = TraceRecorder()
+    system = ProbabilisticQoSSystem(
+        SystemConfig(node_count=args.nodes, accuracy=args.accuracy, seed=setup.seed),
+        log,
+        failures,
+        recorder=recorder,
+    )
+    result = system.run()
+    print(render_gantt(recorder, node_count=args.nodes, width=args.width))
+    m = result.metrics
+    print(
+        f"\nQoS={m.qos:.3f} util={m.utilization:.3f} "
+        f"lost={m.lost_work:.2e} node-s, {m.failures_hitting_jobs} hit(s)"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    setup = _setup(args)
+    print(
+        generate_report(
+            job_count=args.jobs, seed=setup.seed, figures=args.figures
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "figure": _cmd_figure,
+        "table": _cmd_table,
+        "run": _cmd_run,
+        "headline": _cmd_headline,
+        "suggest": _cmd_suggest,
+        "export": _cmd_export,
+        "gantt": _cmd_gantt,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

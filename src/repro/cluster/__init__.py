@@ -1,0 +1,23 @@
+"""Cluster substrate: nodes, machine state, reservations, topologies."""
+
+from repro.cluster.machine import Cluster
+from repro.cluster.node import Node, NodeState
+from repro.cluster.reservations import Reservation, ReservationLedger
+from repro.cluster.topology import (
+    FlatTopology,
+    RingTopology,
+    Topology,
+    topology_by_name,
+)
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "NodeState",
+    "Reservation",
+    "ReservationLedger",
+    "FlatTopology",
+    "RingTopology",
+    "Topology",
+    "topology_by_name",
+]

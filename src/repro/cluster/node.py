@@ -1,0 +1,95 @@
+"""Node state tracking for the simulated cluster.
+
+Nodes are homogeneous but fail independently (paper Section 4.1).  A node is
+either up or down; while down it finishes its fixed repair ("downtime",
+120 s in the paper's configuration — the restart time of a BG/L node) and
+then recovers.  Each node can host at most one job — "only one job may run
+on a given node at a time; there is no co-scheduling or multitasking."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class NodeState(enum.Enum):
+    """Operational state of a node."""
+
+    UP = "up"
+    DOWN = "down"
+
+
+@dataclass
+class Node:
+    """One compute node.
+
+    Attributes:
+        index: Node index in ``[0, N)``.
+        state: UP or DOWN.
+        down_until: Time the current repair completes (meaningful when
+            DOWN).
+        running_job: Id of the job currently executing here, or None.
+        failure_count: Failures suffered so far (statistics).
+    """
+
+    index: int
+    state: NodeState = NodeState.UP
+    down_until: float = 0.0
+    running_job: Optional[int] = None
+    failure_count: int = 0
+
+    @property
+    def is_up(self) -> bool:
+        return self.state is NodeState.UP
+
+    @property
+    def is_busy(self) -> bool:
+        return self.running_job is not None
+
+    def fail(self, now: float, downtime: float) -> float:
+        """Mark the node failed at ``now``; returns its recovery time.
+
+        The occupying job (if any) is *not* cleared here — the cluster layer
+        owns job bookkeeping and clears the assignment when it kills the
+        job.
+        """
+        if downtime < 0:
+            raise ValueError(f"downtime must be >= 0, got {downtime}")
+        self.state = NodeState.DOWN
+        self.down_until = now + downtime
+        self.failure_count += 1
+        return self.down_until
+
+    def recover(self, now: float) -> None:
+        """Bring the node back up (recovery event handler).
+
+        Stale recoveries are ignored: if the node failed *again* during its
+        repair window, ``down_until`` moved later and only the recovery
+        scheduled for the new time takes effect.
+        """
+        if self.state is NodeState.UP:
+            return  # already recovered (double failure inside one downtime)
+        if now + 1e-9 < self.down_until:
+            return  # stale recovery from before a repeat failure
+        self.state = NodeState.UP
+
+    def assign(self, job_id: int) -> None:
+        """Place a job on the node; the node must be up and idle."""
+        if not self.is_up:
+            raise ValueError(f"cannot assign job {job_id} to down node {self.index}")
+        if self.running_job is not None:
+            raise ValueError(
+                f"node {self.index} already runs job {self.running_job}; "
+                f"cannot assign job {job_id}"
+            )
+        self.running_job = job_id
+
+    def release(self, job_id: int) -> None:
+        """Remove a job from the node (finish or kill)."""
+        if self.running_job != job_id:
+            raise ValueError(
+                f"node {self.index} runs {self.running_job}, not job {job_id}"
+            )
+        self.running_job = None

@@ -1,0 +1,379 @@
+"""Node-level reservation ledger (the scheduler's free-time profile).
+
+Conservative backfilling — which is what a scheduler that *promises
+deadlines at submission* must do — books a concrete ``(node set, start,
+end)`` reservation for every job the moment it is negotiated.  The ledger
+stores those bookings as per-node interval lists and answers the two
+questions the scheduler and the negotiation loop ask:
+
+* *"What is the earliest time at or after ``t`` at which ``n`` nodes are
+  simultaneously free for ``d`` seconds, and which nodes?"*
+  (:meth:`ReservationLedger.find_slot`) — candidate start times only need to
+  be examined at ``t`` itself and at reservation end points, because free
+  capacity changes nowhere else;
+* *"Is this exact window still free on these nodes?"* for requeue placement.
+
+Reservations are immutable once made except for two paper-sanctioned
+adjustments: an early *release* when a job finishes ahead of its padded
+estimate (skipped checkpoints), and an *extension* when a start is delayed
+by a node still in its 120 s repair window.  Extensions may overlap a later
+booking; the conflict resolves at start time (the runtime layer starts jobs
+only when their nodes are actually free), mirroring how the paper's
+scheduler never re-optimises the future schedule.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Scoring callback: (node, start, end) -> sort key; lower is preferred.
+NodeScorer = Callable[[int, float, float], float]
+
+
+class CapacityProfile:
+    """Aggregate usage over time, for cheap infeasibility prefiltering.
+
+    Built once per scheduling decision from the ledger's current bookings.
+    ``max_usage(start, end)`` bounds the nodes simultaneously booked in the
+    window from *below* the true per-node constraint: a window can pass the
+    capacity test yet still fail node-level availability (two nodes each
+    busy for half the window leave zero nodes free *throughout* it), so a
+    passing window must still be verified with
+    :meth:`ReservationLedger.free_nodes` — but a failing window is failing
+    for sure, and in deep-queue phases almost every candidate fails here,
+    skipping the expensive per-node scan.
+    """
+
+    def __init__(self, reservations: Sequence["Reservation"]) -> None:
+        deltas: Dict[float, int] = {}
+        for r in reservations:
+            width = len(r.nodes)
+            deltas[r.start] = deltas.get(r.start, 0) + width
+            deltas[r.end] = deltas.get(r.end, 0) - width
+        self._boundaries: List[float] = sorted(deltas)
+        usage: List[int] = []
+        level = 0
+        for t in self._boundaries:
+            level += deltas[t]
+            usage.append(level)
+        # usage[i] holds on [boundaries[i], boundaries[i+1]).
+        self._usage = usage
+        # Sparse table for O(1) range-max queries.
+        self._table: List[List[int]] = [usage]
+        length = len(usage)
+        k = 1
+        while (1 << k) <= length:
+            prev = self._table[-1]
+            half = 1 << (k - 1)
+            self._table.append(
+                [max(prev[i], prev[i + half]) for i in range(length - (1 << k) + 1)]
+            )
+            k += 1
+
+    def max_usage(self, start: float, end: float) -> int:
+        """Maximum booked node count over ``[start, end)``."""
+        if not self._usage:
+            return 0
+        # Segment whose interval contains `start` (usage before the first
+        # boundary is 0).
+        lo = bisect.bisect_right(self._boundaries, start) - 1
+        hi = bisect.bisect_left(self._boundaries, end) - 1
+        if hi < 0:
+            return 0
+        lo = max(lo, 0)
+        if lo > hi:
+            # Window entirely inside one pre-first-boundary gap.
+            return self._usage[hi] if hi >= 0 else 0
+        span = hi - lo + 1
+        k = span.bit_length() - 1
+        return max(self._table[k][lo], self._table[k][hi - (1 << k) + 1])
+
+    def window_fits(self, start: float, end: float, free_needed: int, total: int) -> bool:
+        """Capacity prefilter: can ``free_needed`` nodes possibly be free?"""
+        return total - self.max_usage(start, end) >= free_needed
+
+
+@dataclass
+class Reservation:
+    """A booked slot: ``job_id`` holds ``nodes`` during ``[start, end)``."""
+
+    job_id: int
+    nodes: Tuple[int, ...]
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ReservationLedger:
+    """Per-node interval book-keeping over a fixed-width cluster.
+
+    Args:
+        node_count: Cluster width N; node indexes are ``0..N-1``.
+    """
+
+    def __init__(self, node_count: int) -> None:
+        if node_count < 1:
+            raise ValueError(f"node_count must be >= 1, got {node_count}")
+        self._n = node_count
+        # Per-node parallel arrays of (start, end, job_id), sorted by start.
+        self._starts: List[List[float]] = [[] for _ in range(node_count)]
+        self._ends: List[List[float]] = [[] for _ in range(node_count)]
+        self._jobs: List[List[int]] = [[] for _ in range(node_count)]
+        self._by_job: Dict[int, Reservation] = {}
+        # Sorted multiset of reservation end times (candidate start points).
+        self._end_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return self._n
+
+    def __len__(self) -> int:
+        return len(self._by_job)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._by_job
+
+    def get(self, job_id: int) -> Optional[Reservation]:
+        """The reservation for ``job_id``, or None."""
+        return self._by_job.get(job_id)
+
+    def reservations(self) -> List[Reservation]:
+        """All live reservations, sorted by start time."""
+        return sorted(self._by_job.values(), key=lambda r: (r.start, r.job_id))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def reserve(
+        self,
+        job_id: int,
+        nodes: Iterable[int],
+        start: float,
+        end: float,
+        allow_overlap: bool = False,
+    ) -> Reservation:
+        """Book ``nodes`` for ``job_id`` over ``[start, end)``.
+
+        Args:
+            allow_overlap: Skip the free-window validation.  Only for
+                *restoring* a previously held booking that may legally
+                overlap another job's :meth:`extend`-ed interval; overlaps
+                resolve at start time in the runtime layer.
+
+        Raises:
+            ValueError: On overlap with an existing booking (unless
+                ``allow_overlap``), a duplicate job id, an out-of-range
+                node, or a degenerate window.
+        """
+        node_tuple = tuple(sorted(set(nodes)))
+        if not node_tuple:
+            raise ValueError(f"job {job_id}: empty node set")
+        if end <= start:
+            raise ValueError(f"job {job_id}: end {end} <= start {start}")
+        if job_id in self._by_job:
+            raise ValueError(f"job {job_id} already has a reservation")
+        for node in node_tuple:
+            self._check_node(node)
+            if not allow_overlap and not self.node_free(node, start, end):
+                raise ValueError(
+                    f"job {job_id}: node {node} not free over [{start}, {end})"
+                )
+        for node in node_tuple:
+            idx = bisect.bisect_left(self._starts[node], start)
+            self._starts[node].insert(idx, start)
+            self._ends[node].insert(idx, end)
+            self._jobs[node].insert(idx, job_id)
+        reservation = Reservation(job_id=job_id, nodes=node_tuple, start=start, end=end)
+        self._by_job[job_id] = reservation
+        bisect.insort(self._end_times, end)
+        return reservation
+
+    def release(self, job_id: int) -> Reservation:
+        """Drop a job's booking entirely (finish, kill, or cancellation)."""
+        reservation = self._by_job.pop(job_id, None)
+        if reservation is None:
+            raise KeyError(f"job {job_id} has no reservation")
+        for node in reservation.nodes:
+            idx = self._find_entry(node, job_id)
+            del self._starts[node][idx]
+            del self._ends[node][idx]
+            del self._jobs[node][idx]
+        self._remove_end_time(reservation.end)
+        return reservation
+
+    def truncate(self, job_id: int, new_end: float) -> Reservation:
+        """Shrink a booking's end (job finished earlier than estimated).
+
+        The freed tail becomes available to subsequent ``find_slot`` calls —
+        this is where skipped checkpoints buy the system schedule slack.
+        """
+        reservation = self._by_job.get(job_id)
+        if reservation is None:
+            raise KeyError(f"job {job_id} has no reservation")
+        if new_end >= reservation.end:
+            return reservation
+        if new_end <= reservation.start:
+            raise ValueError(
+                f"job {job_id}: truncation to {new_end} precedes start "
+                f"{reservation.start}"
+            )
+        for node in reservation.nodes:
+            idx = self._find_entry(node, job_id)
+            self._ends[node][idx] = new_end
+        self._remove_end_time(reservation.end)
+        bisect.insort(self._end_times, new_end)
+        updated = Reservation(job_id, reservation.nodes, reservation.start, new_end)
+        self._by_job[job_id] = updated
+        return updated
+
+    def extend(self, job_id: int, new_end: float) -> Reservation:
+        """Grow a booking's end (start delayed by repair, overrun).
+
+        Unlike :meth:`reserve`, overlap with later bookings is tolerated;
+        the runtime layer serialises conflicting starts on actual node
+        availability.
+        """
+        reservation = self._by_job.get(job_id)
+        if reservation is None:
+            raise KeyError(f"job {job_id} has no reservation")
+        if new_end <= reservation.end:
+            return reservation
+        for node in reservation.nodes:
+            idx = self._find_entry(node, job_id)
+            self._ends[node][idx] = new_end
+        self._remove_end_time(reservation.end)
+        bisect.insort(self._end_times, new_end)
+        updated = Reservation(job_id, reservation.nodes, reservation.start, new_end)
+        self._by_job[job_id] = updated
+        return updated
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node_free(self, node: int, start: float, end: float) -> bool:
+        """True if ``node`` has no booking overlapping ``[start, end)``."""
+        self._check_node(node)
+        starts = self._starts[node]
+        ends = self._ends[node]
+        # Intervals are sorted by start; any interval starting at or after
+        # ``end`` cannot overlap.  Ends are *not* guaranteed sorted once
+        # extend() has been used, so every predecessor must be checked.
+        # Lists stay short because completed jobs release their bookings.
+        idx = bisect.bisect_left(starts, end)
+        for k in range(idx - 1, -1, -1):
+            if ends[k] > start:
+                return False
+        return True
+
+    def free_nodes(self, start: float, end: float) -> List[int]:
+        """All nodes free throughout ``[start, end)``, ascending."""
+        return [n for n in range(self._n) if self.node_free(n, start, end)]
+
+    def busy_jobs_at(self, time: float) -> Set[int]:
+        """Ids of jobs whose reservation covers ``time``."""
+        return {
+            r.job_id
+            for r in self._by_job.values()
+            if r.start <= time < r.end
+        }
+
+    def candidate_times(self, earliest: float, limit: Optional[int] = None) -> List[float]:
+        """Start times worth probing: ``earliest`` plus booking end points.
+
+        Free capacity is piecewise-constant between these points, so the
+        earliest feasible slot always begins at one of them.
+        """
+        idx = bisect.bisect_right(self._end_times, earliest)
+        tail = self._end_times[idx:]
+        times = [earliest]
+        last = earliest
+        for t in tail:
+            if t > last:
+                times.append(t)
+                last = t
+        if limit is not None:
+            times = times[:limit]
+        return times
+
+    def find_slot(
+        self,
+        size: int,
+        duration: float,
+        earliest: float,
+        scorer: Optional[NodeScorer] = None,
+    ) -> Tuple[float, List[int]]:
+        """Earliest start >= ``earliest`` with ``size`` nodes free for
+        ``duration``; picks the ``size`` best-scoring free nodes.
+
+        Args:
+            size: Nodes required.
+            duration: Window length in seconds.
+            scorer: Optional ``(node, start, end) -> key``; lower keys are
+                preferred (the fault-aware scheduler passes predicted
+                per-node failure probability here).  Ties and the no-scorer
+                case fall back to ascending node index, keeping placement
+                deterministic.
+
+        Returns:
+            ``(start, nodes)``.
+
+        Raises:
+            ValueError: If ``size`` exceeds the cluster width (can never be
+                satisfied) or ``duration`` is non-positive.
+        """
+        if size > self._n:
+            raise ValueError(f"requested {size} nodes on a {self._n}-node cluster")
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+
+        profile = CapacityProfile(self.reservations())
+        for start in self.candidate_times(earliest):
+            if not profile.window_fits(start, start + duration, size, self._n):
+                continue
+            free = self.free_nodes(start, start + duration)
+            if len(free) >= size:
+                chosen = self._select(free, size, start, start + duration, scorer)
+                return start, chosen
+        # Unreachable: the window after the last booking end is always free.
+        raise RuntimeError("no feasible slot found past the final booking")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _select(
+        self,
+        free: Sequence[int],
+        size: int,
+        start: float,
+        end: float,
+        scorer: Optional[NodeScorer],
+    ) -> List[int]:
+        if scorer is None:
+            return list(free[:size])
+        scored = sorted(free, key=lambda n: (scorer(n, start, end), n))
+        return sorted(scored[:size])
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._n:
+            raise ValueError(f"node {node} out of range [0, {self._n})")
+
+    def _find_entry(self, node: int, job_id: int) -> int:
+        for idx, jid in enumerate(self._jobs[node]):
+            if jid == job_id:
+                return idx
+        raise KeyError(f"job {job_id} has no interval on node {node}")
+
+    def _remove_end_time(self, end: float) -> None:
+        idx = bisect.bisect_left(self._end_times, end)
+        if idx < len(self._end_times) and self._end_times[idx] == end:
+            del self._end_times[idx]

@@ -1,0 +1,157 @@
+"""Promise calibration: does the system promise honestly?
+
+The paper's thesis is that *"a system that makes unqualified performance
+guarantees is lying"* — so a system that makes **qualified** guarantees
+should be audited for honesty: among all jobs promised success probability
+≈ p, did a fraction ≈ p actually meet their deadlines?
+
+This module scores a finished simulation's promises the way forecast
+verification scores a weather service:
+
+* :func:`calibration_buckets` — group promises by promised probability and
+  compare the empirical keep rate per bucket (the data behind a
+  reliability diagram);
+* :func:`brier_score` — mean squared error of the promise as a probability
+  forecast of ``q_j`` (0 is perfect, 0.25 is the skill-less coin);
+* :func:`reliability_diagram` — an ASCII rendering of the buckets;
+* :func:`calibration_gap` — the work-weighted mean |promised − observed|.
+
+Note: with the paper's trace predictor the promised ``p = 1 − p_x`` is not
+constructed as a true probability (the failure in the window *will* occur;
+``p_x`` is its detectability), so honesty is an emergent property worth
+measuring, not a tautology — the negotiation, placement and checkpointing
+machinery together determine whether promises come true at their stated
+rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.metrics import JobOutcome
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """Promises whose probability fell in ``[low, high)``.
+
+    Attributes:
+        low: Bucket lower edge (inclusive).
+        high: Bucket upper edge (exclusive; the last bucket includes 1.0).
+        count: Promises in the bucket.
+        mean_promised: Mean promised probability.
+        keep_rate: Fraction of bucketed promises that were kept.
+    """
+
+    low: float
+    high: float
+    count: int
+    mean_promised: float
+    keep_rate: float
+
+    @property
+    def gap(self) -> float:
+        """Signed honesty gap: positive = over-promising."""
+        return self.mean_promised - self.keep_rate
+
+
+def _promised_and_kept(outcomes: Iterable[JobOutcome]) -> List[tuple]:
+    pairs = []
+    for outcome in outcomes:
+        if outcome.guarantee is None:
+            continue
+        pairs.append((outcome.guarantee.probability, 1.0 if outcome.met_deadline else 0.0))
+    return pairs
+
+
+def calibration_buckets(
+    outcomes: Iterable[JobOutcome], bucket_count: int = 10
+) -> List[CalibrationBucket]:
+    """Bucket promises by probability and compute per-bucket keep rates.
+
+    Empty buckets are omitted (a reliability diagram has nothing to plot
+    there).
+    """
+    if bucket_count < 1:
+        raise ValueError(f"bucket_count must be >= 1, got {bucket_count}")
+    pairs = _promised_and_kept(outcomes)
+    width = 1.0 / bucket_count
+    buckets: List[CalibrationBucket] = []
+    for k in range(bucket_count):
+        low = k * width
+        high = (k + 1) * width
+        if k == bucket_count - 1:
+            members = [(p, q) for p, q in pairs if low <= p <= 1.0]
+        else:
+            members = [(p, q) for p, q in pairs if low <= p < high]
+        if not members:
+            continue
+        promised = [p for p, _ in members]
+        kept = [q for _, q in members]
+        buckets.append(
+            CalibrationBucket(
+                low=low,
+                high=high,
+                count=len(members),
+                mean_promised=sum(promised) / len(promised),
+                keep_rate=sum(kept) / len(kept),
+            )
+        )
+    return buckets
+
+
+def brier_score(outcomes: Iterable[JobOutcome]) -> Optional[float]:
+    """Mean squared error of the promise as a forecast of ``q_j``.
+
+    Returns None when no promises were recorded.
+    """
+    pairs = _promised_and_kept(outcomes)
+    if not pairs:
+        return None
+    return sum((p - q) ** 2 for p, q in pairs) / len(pairs)
+
+
+def calibration_gap(outcomes: Iterable[JobOutcome]) -> Optional[float]:
+    """Work-weighted mean absolute honesty gap, |promised − kept|.
+
+    Weighted by ``e_j n_j`` (the QoS metric's weighting), so over-promising
+    on big jobs counts for more — exactly where broken promises hurt.
+    """
+    total_work = 0.0
+    weighted_gap = 0.0
+    for outcome in outcomes:
+        if outcome.guarantee is None:
+            continue
+        work = outcome.job.work
+        kept = 1.0 if outcome.met_deadline else 0.0
+        weighted_gap += work * abs(outcome.guarantee.probability - kept)
+        total_work += work
+    if total_work == 0.0:
+        return None
+    return weighted_gap / total_work
+
+
+def reliability_diagram(
+    buckets: Sequence[CalibrationBucket], width: int = 40
+) -> str:
+    """ASCII reliability diagram: promised vs observed per bucket.
+
+    Each row shows a bucket's promised range, its empirical keep rate as a
+    bar, and a ``|`` marking where the bar should end for perfect honesty.
+    """
+    if not buckets:
+        return "(no promises recorded)"
+    lines = [f"{'promised':>12}  {'n':>6}  observed keep rate"]
+    for bucket in buckets:
+        bar_len = int(round(bucket.keep_rate * width))
+        ideal = int(round(bucket.mean_promised * width))
+        row = ["="] * bar_len + [" "] * (width - bar_len + 1)
+        marker_pos = min(ideal, width)
+        row[marker_pos] = "|"
+        lines.append(
+            f"[{bucket.low:4.2f},{bucket.high:4.2f})  {bucket.count:6d}  "
+            f"{''.join(row)} {bucket.keep_rate:5.1%}"
+        )
+    lines.append(f"{'':>22}('|' marks the promised rate; '=' the observed)")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Probabilistic QoS guarantees — the object the system promises.
+
+The system's promises take the paper's canonical form: *"Job j can be
+completed by deadline d with probability p."*  A :class:`QoSGuarantee` is
+created exactly once per job, at negotiation time, and never revised — the
+QoS metric (Equation 2) scores the system against the promise as made, so a
+failure that delays a job past ``deadline`` costs the full promised weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class QoSGuarantee:
+    """One promise: job ``job_id`` completes by ``deadline`` w.p. ``probability``.
+
+    Attributes:
+        job_id: The promised job.
+        deadline: Promised completion time (absolute seconds).
+        probability: Promised success probability ``p_j = 1 - p_f`` where
+            ``p_f`` is the predicted partition-failure probability over the
+            reserved window.
+        predicted_failure_probability: The ``p_f`` behind the promise.
+        negotiated_at: Submission time the dialogue concluded.
+        planned_start: Reserved start time backing the promise.
+        planned_nodes: Reserved partition backing the promise.
+        offers_declined: Earlier (tighter) offers the user turned down
+            before accepting this one — 0 means the first offer was taken.
+    """
+
+    job_id: int
+    deadline: float
+    probability: float
+    predicted_failure_probability: float
+    negotiated_at: float
+    planned_start: float
+    planned_nodes: Tuple[int, ...]
+    offers_declined: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"job {self.job_id}: probability {self.probability} not in [0,1]"
+            )
+        if self.deadline < self.negotiated_at:
+            raise ValueError(
+                f"job {self.job_id}: deadline {self.deadline} precedes "
+                f"negotiation time {self.negotiated_at}"
+            )
+
+    @property
+    def slack(self) -> float:
+        """Seconds between negotiation and the promised deadline."""
+        return self.deadline - self.negotiated_at
+
+    def kept(self, finish_time: Optional[float]) -> bool:
+        """Whether a finish at ``finish_time`` honours the promise.
+
+        ``None`` (never finished within the simulation) is a broken
+        promise.
+        """
+        return finish_time is not None and finish_time <= self.deadline + 1e-6
+
+
+@dataclass(frozen=True)
+class DeadlineOffer:
+    """One option laid on the table during negotiation.
+
+    Attributes:
+        start: Proposed start time.
+        nodes: Proposed partition.
+        deadline: Completion time if the job runs to plan (start + E_j).
+        probability: Promised success probability ``1 - p_f``.
+        failure_probability: Predicted ``p_f`` for this window/partition.
+    """
+
+    start: float
+    nodes: Tuple[int, ...]
+    deadline: float
+    probability: float
+    failure_probability: float

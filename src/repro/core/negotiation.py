@@ -1,0 +1,245 @@
+"""The deadline-negotiation dialogue between system and user.
+
+This is the paper's central mechanism (Sections 3.3 and 3.5): at submission
+the scheduler looks for the earliest time the job could run, selects the
+partition with the lowest predicted failure probability, and offers the user
+a deadline together with a promised success probability ``p = 1 − p_f``.
+If the user declines (their risk threshold ``U`` exceeds ``p``), the system
+produces the next-earliest offer — a later slot and/or a safer partition —
+and the dialogue repeats.  The user accepts the earliest offer satisfying
+Equation 3, so deadlines are pushed "no further than necessary".
+
+Offer enumeration is exact for the booked region: free capacity changes
+only at reservation end points, so those are the only candidate start times
+(plus "now").  Past the booking horizon the cluster is entirely free and
+offers can only improve by *jumping past predicted failures*; the loop
+advances the candidate start just beyond the earliest predicted failure of
+the best partition until the promise clears the threshold (the failure
+trace is finite, so this terminates), with a hard cap as a safety valve —
+if the cap is hit, the best offer seen is imposed and flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.reservations import (
+    CapacityProfile,
+    NodeScorer,
+    ReservationLedger,
+)
+from repro.cluster.topology import Topology
+from repro.core.guarantee import DeadlineOffer, QoSGuarantee
+from repro.core.users import UserModel
+from repro.prediction.base import Predictor
+
+#: Seconds added when jumping a candidate start past a predicted failure.
+_FAILURE_JUMP_EPSILON = 1.0
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """Result of one submission dialogue.
+
+    Attributes:
+        guarantee: The promise as recorded by the system.
+        start: Reserved start time.
+        nodes: Reserved partition (sorted).
+        reserved_end: Reservation end (start + padded duration).
+        offers_made: Offers laid on the table including the accepted one.
+        forced: True if the safety cap ended the dialogue and the best
+            offer was imposed rather than accepted.
+    """
+
+    guarantee: QoSGuarantee
+    start: float
+    nodes: Tuple[int, ...]
+    reserved_end: float
+    offers_made: int
+    forced: bool
+
+
+class Negotiator:
+    """Produces offers and records accepted guarantees.
+
+    Args:
+        ledger: The scheduler's reservation book.
+        topology: Allocation-shape constraint (flat in the paper).
+        predictor: The event predictor behind every promise.
+        scorer: Node ranking used to pick partitions; the paper's system
+            passes the fault-aware scorer.
+        max_offers: Dialogue safety cap.
+    """
+
+    def __init__(
+        self,
+        ledger: ReservationLedger,
+        topology: Topology,
+        predictor: Predictor,
+        scorer: Optional[NodeScorer] = None,
+        max_offers: int = 400,
+    ) -> None:
+        if max_offers < 1:
+            raise ValueError(f"max_offers must be >= 1, got {max_offers}")
+        self._ledger = ledger
+        self._topology = topology
+        self._predictor = predictor
+        self._scorer = scorer
+        self._max_offers = max_offers
+
+    # ------------------------------------------------------------------
+    # Offer generation
+    # ------------------------------------------------------------------
+    def make_offer(
+        self, size: int, duration: float, start: float
+    ) -> Optional[DeadlineOffer]:
+        """Best offer starting exactly at ``start``, or None if infeasible.
+
+        Picks the lowest-failure-probability partition among the free nodes
+        (the paper's tie-breaking), then quotes ``p = 1 − p_f`` for it.
+        """
+        free = self._ledger.free_nodes(start, start + duration)
+        if len(free) < size:
+            return None
+        nodes = self._topology.select_partition(
+            free, size, start, start + duration, self._scorer
+        )
+        if nodes is None:
+            return None
+        p_f = self._predictor.failure_probability(nodes, start, start + duration)
+        return DeadlineOffer(
+            start=start,
+            nodes=tuple(nodes),
+            deadline=start + duration,
+            probability=1.0 - p_f,
+            failure_probability=p_f,
+        )
+
+    def iter_offers(self, size: int, duration: float, earliest: float):
+        """Yield offers in nondecreasing deadline order.
+
+        First the exact candidates of the booked region, then the
+        jump-past-predicted-failure sequence; stops after
+        ``self._max_offers`` offers.
+        """
+        produced = 0
+        last_start = earliest
+        # Capacity prefilter: reject candidates that cannot possibly have
+        # enough simultaneously free nodes without per-node scans.  The
+        # ledger is not mutated during one dialogue, so one snapshot serves
+        # the whole enumeration.
+        profile = CapacityProfile(self._ledger.reservations())
+        total = self._ledger.node_count
+        for start in self._ledger.candidate_times(earliest):
+            last_start = start
+            if not profile.window_fits(start, start + duration, size, total):
+                continue
+            offer = self.make_offer(size, duration, start)
+            if offer is None:
+                continue
+            produced += 1
+            yield offer
+            if produced >= self._max_offers:
+                return
+        # Past the booking horizon: jump beyond predicted failures.
+        start = last_start
+        while produced < self._max_offers:
+            offer = self.make_offer(size, duration, start)
+            if offer is None:
+                return  # cluster narrower than the job; caller validates
+            produced += 1
+            yield offer
+            predicted = self._predictor.predicted_failures(
+                offer.nodes, start, start + duration
+            )
+            if not predicted:
+                return  # perfect offer; nothing later can beat p = 1
+            start = predicted[0].time + _FAILURE_JUMP_EPSILON
+
+    # ------------------------------------------------------------------
+    # The dialogue
+    # ------------------------------------------------------------------
+    def negotiate(
+        self,
+        job_id: int,
+        size: int,
+        duration: float,
+        now: float,
+        user: UserModel,
+    ) -> NegotiationOutcome:
+        """Run the submission dialogue and book the accepted offer.
+
+        Args:
+            job_id: Job being submitted.
+            size: Nodes required (``n_j``).
+            duration: Padded runtime ``E_j`` to reserve.
+            now: Submission time (offers start at or after it).
+            user: The user's risk strategy.
+
+        Returns:
+            The accepted (or imposed) :class:`NegotiationOutcome`; the
+            reservation is already booked in the ledger.
+
+        Raises:
+            ValueError: If the job can never fit (size > cluster width).
+        """
+        if size > self._ledger.node_count:
+            raise ValueError(
+                f"job {job_id}: size {size} exceeds cluster width "
+                f"{self._ledger.node_count}"
+            )
+
+        best: Optional[DeadlineOffer] = None
+        accepted: Optional[DeadlineOffer] = None
+        offers_made = 0
+        for offer in self.iter_offers(size, duration, now):
+            offers_made += 1
+            if best is None or offer.probability > best.probability:
+                best = offer
+            if user.accepts(offer):
+                accepted = offer
+                break
+
+        forced = accepted is None
+        if accepted is None:
+            if best is None:
+                raise RuntimeError(
+                    f"job {job_id}: no feasible offer (topology cannot place "
+                    f"{size} nodes)"
+                )
+            accepted = best  # cap hit: impose the safest offer seen
+
+        self._ledger.reserve(job_id, accepted.nodes, accepted.start, accepted.deadline)
+        guarantee = QoSGuarantee(
+            job_id=job_id,
+            deadline=accepted.deadline,
+            probability=accepted.probability,
+            predicted_failure_probability=accepted.failure_probability,
+            negotiated_at=now,
+            planned_start=accepted.start,
+            planned_nodes=accepted.nodes,
+            offers_declined=offers_made - (0 if forced else 1),
+        )
+        return NegotiationOutcome(
+            guarantee=guarantee,
+            start=accepted.start,
+            nodes=accepted.nodes,
+            reserved_end=accepted.deadline,
+            offers_made=offers_made,
+            forced=forced,
+        )
+
+    def suggest_deadline(
+        self, size: int, duration: float, now: float, target_probability: float
+    ) -> Optional[DeadlineOffer]:
+        """The paper's "the scheduler could even suggest a deadline": the
+        earliest offer whose promise reaches ``target_probability``.
+
+        Purely advisory — nothing is booked.  Returns None if the dialogue
+        cap is reached first.
+        """
+        for offer in self.iter_offers(size, duration, now):
+            if offer.probability >= target_probability - 1e-12:
+                return offer
+        return None

@@ -1,0 +1,99 @@
+"""User risk-strategy models (the paper's parameter ``U``).
+
+The job logs carry no deadlines, so the paper models user behaviour: "for a
+given job j, with promised probability of success p_j, a simulated user
+will accept the earliest deadline such that p_j >= U" (Equation 3).  ``U``
+is the risk threshold — ``U = 0.1`` barely cares about success and takes
+the earliest slot; ``U = 0.9`` extends the deadline until the system can
+promise 90%.
+
+Because the trace predictor never reports ``p_f > a``, every offer carries
+``p_j >= 1 - a``; for ``U <= 1 - a`` the threshold can never bind and the
+simulation is insensitive to ``U``.  (The paper words this insensitivity
+region as ``a < U``, which is inconsistent with its own Equation 3; we
+implement Equation 3 and document the discrepancy — see DESIGN.md note 1.)
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.guarantee import DeadlineOffer
+
+
+class UserModel(abc.ABC):
+    """Decides, offer by offer, when a simulated user says yes."""
+
+    @abc.abstractmethod
+    def accepts(self, offer: DeadlineOffer) -> bool:
+        """True if the user takes this (earliest remaining) offer."""
+
+
+@dataclass(frozen=True)
+class RiskThresholdUser(UserModel):
+    """Equation 3: accept the earliest offer with ``p_j >= U``.
+
+    Attributes:
+        risk_threshold: ``U`` in [0, 1].
+    """
+
+    risk_threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.risk_threshold <= 1.0:
+            raise ValueError(
+                f"risk threshold must be in [0,1], got {self.risk_threshold}"
+            )
+
+    def accepts(self, offer: DeadlineOffer) -> bool:
+        return offer.probability >= self.risk_threshold - 1e-12
+
+    @property
+    def binding_failure_probability(self) -> float:
+        """Largest ``p_f`` this user tolerates: ``1 - U``."""
+        return 1.0 - self.risk_threshold
+
+
+@dataclass(frozen=True)
+class EarliestDeadlineUser(UserModel):
+    """Always take the first offer (equivalent to ``U = 0``).
+
+    The pure latency-chaser: the user the paper describes as operating
+    "purely based on the deadline", for whom prediction value is largely
+    negated.
+    """
+
+    def accepts(self, offer: DeadlineOffer) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class SlackBoundedUser(UserModel):
+    """A thresholder who additionally refuses unbounded postponement.
+
+    Extension beyond the paper: accepts when ``p_j >= U`` *or* when the
+    offer's start has slipped more than ``max_slack`` past the first offer
+    it saw — modelling users whose patience, not risk appetite, binds.
+
+    Attributes:
+        risk_threshold: ``U`` as in :class:`RiskThresholdUser`.
+        max_slack: Latest acceptable start slip, seconds.
+        first_offer_start: Start of the first offer (set via
+            :meth:`anchored_at`; negotiation anchors it automatically).
+    """
+
+    risk_threshold: float
+    max_slack: float
+    first_offer_start: float = float("nan")
+
+    def anchored_at(self, start: float) -> "SlackBoundedUser":
+        """A copy anchored to the first offered start time."""
+        return SlackBoundedUser(self.risk_threshold, self.max_slack, start)
+
+    def accepts(self, offer: DeadlineOffer) -> bool:
+        if offer.probability >= self.risk_threshold - 1e-12:
+            return True
+        if self.first_offer_start != self.first_offer_start:  # NaN: no anchor
+            return False
+        return offer.start - self.first_offer_start >= self.max_slack

@@ -1,0 +1,86 @@
+"""Experiment harness: configs, memoised runner, sweeps, figures, tables."""
+
+from repro.experiments.config import (
+    BENCH_JOB_COUNT,
+    CHECKPOINT_INTERVAL,
+    CHECKPOINT_OVERHEAD,
+    CLUSTER_NODES,
+    FULL_JOB_COUNT,
+    HIGHLIGHT_USERS,
+    NODE_DOWNTIME,
+    SWEEP_GRID,
+    ExperimentSetup,
+    bench_job_count,
+    bench_seed,
+    bench_setup,
+)
+from repro.experiments.figures import FigureCatalog, FigureResult
+from repro.experiments.reporting import (
+    format_figure,
+    format_headline,
+    format_pairs,
+    format_table1,
+    sparkline,
+)
+from repro.experiments.replication import (
+    ReplicatedExperiment,
+    ReplicatedMetric,
+    significant_improvement,
+)
+from repro.experiments.runner import ExperimentContext, estimate_horizon
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    optimal_interval,
+    sweep_checkpoint_interval,
+    sweep_checkpoint_overhead,
+    sweep_failure_rate,
+)
+from repro.experiments.sweeps import (
+    METRIC_EXTRACTORS,
+    Series,
+    accuracy_sweep,
+    endpoint_comparison,
+    user_sweep,
+)
+from repro.experiments.tables import PAPER_TABLE1, Table1Row, table_1, table_2
+
+__all__ = [
+    "BENCH_JOB_COUNT",
+    "CHECKPOINT_INTERVAL",
+    "CHECKPOINT_OVERHEAD",
+    "CLUSTER_NODES",
+    "FULL_JOB_COUNT",
+    "HIGHLIGHT_USERS",
+    "NODE_DOWNTIME",
+    "SWEEP_GRID",
+    "ExperimentSetup",
+    "bench_job_count",
+    "bench_seed",
+    "bench_setup",
+    "FigureCatalog",
+    "FigureResult",
+    "format_figure",
+    "format_headline",
+    "format_pairs",
+    "format_table1",
+    "sparkline",
+    "ExperimentContext",
+    "estimate_horizon",
+    "ReplicatedExperiment",
+    "ReplicatedMetric",
+    "significant_improvement",
+    "SensitivityPoint",
+    "optimal_interval",
+    "sweep_checkpoint_interval",
+    "sweep_checkpoint_overhead",
+    "sweep_failure_rate",
+    "METRIC_EXTRACTORS",
+    "Series",
+    "accuracy_sweep",
+    "endpoint_comparison",
+    "user_sweep",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "table_1",
+    "table_2",
+]

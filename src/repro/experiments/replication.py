@@ -1,0 +1,135 @@
+"""Multi-seed replication: mean, spread and confidence for any sweep point.
+
+The paper runs a single trace per point and explicitly blames the
+"jaggedness of these curves" on failure burstiness plus having only one
+real failure log.  With synthetic substitutes we are not bound by that
+limitation: this module re-runs a simulation point across independent
+seeds (fresh workload + failure trace + detectability assignment per seed)
+and reports distributional summaries, so any trend assertion can be made
+at a chosen confidence instead of on one draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.metrics import SimulationMetrics
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.sweeps import METRIC_EXTRACTORS
+
+#: Two-sided 95% t critical values for small sample sizes (df = n - 1);
+#: falls back to the normal 1.96 beyond the table.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+}
+
+
+@dataclass(frozen=True)
+class ReplicatedMetric:
+    """Summary of one metric across replications.
+
+    Attributes:
+        metric: Metric name (``qos``/``utilization``/``lost_work``).
+        values: Per-seed observations, in seed order.
+        mean: Sample mean.
+        std: Sample standard deviation (ddof=1; 0.0 for n=1).
+        ci95_halfwidth: Half-width of the two-sided 95% t confidence
+            interval for the mean (0.0 for n=1).
+    """
+
+    metric: str
+    values: Sequence[float]
+    mean: float
+    std: float
+    ci95_halfwidth: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci95_halfwidth
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci95_halfwidth
+
+
+def _summarise(metric: str, values: List[float]) -> ReplicatedMetric:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return ReplicatedMetric(metric, tuple(values), mean, 0.0, 0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    t = _T_95.get(n - 1, 1.96)
+    return ReplicatedMetric(
+        metric, tuple(values), mean, std, t * std / math.sqrt(n)
+    )
+
+
+class ReplicatedExperiment:
+    """Runs sweep points across several independent seeds.
+
+    Args:
+        workload: ``"nasa"`` or ``"sdsc"``.
+        job_count: Jobs per replication.
+        seeds: The replication seeds; each gets its own workload, failure
+            trace and detectability assignment (fully independent draws).
+    """
+
+    def __init__(self, workload: str, job_count: int, seeds: Sequence[int]) -> None:
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        self._contexts: List[ExperimentContext] = [
+            ExperimentContext.prepare(
+                ExperimentSetup(workload=workload, job_count=job_count, seed=seed)
+            )
+            for seed in seeds
+        ]
+        self.seeds = tuple(seeds)
+
+    @property
+    def replications(self) -> int:
+        return len(self._contexts)
+
+    def run_point(
+        self, accuracy: float, user_threshold: float, **overrides
+    ) -> Dict[str, ReplicatedMetric]:
+        """Replicate one ``(a, U)`` point; returns per-metric summaries."""
+        observations: Dict[str, List[float]] = {m: [] for m in METRIC_EXTRACTORS}
+        for ctx in self._contexts:
+            metrics = ctx.run_point(accuracy, user_threshold, **overrides)
+            for name, extract in METRIC_EXTRACTORS.items():
+                observations[name].append(extract(metrics))
+        return {
+            name: _summarise(name, values) for name, values in observations.items()
+        }
+
+    def trend(
+        self,
+        metric: str,
+        accuracies: Sequence[float],
+        user_threshold: float,
+        **overrides,
+    ) -> List[ReplicatedMetric]:
+        """A replicated accuracy sweep for one metric."""
+        return [
+            self.run_point(a, user_threshold, **overrides)[metric]
+            for a in accuracies
+        ]
+
+
+def significant_improvement(
+    baseline: ReplicatedMetric, treatment: ReplicatedMetric, larger_is_better: bool = True
+) -> bool:
+    """Crude significance: do the 95% intervals fail to overlap in the
+    beneficial direction?
+
+    Conservative (interval overlap is stricter than a t-test), which is the
+    right bias for shape assertions on small replication counts.
+    """
+    if larger_is_better:
+        return treatment.ci_low > baseline.ci_high
+    return treatment.ci_high < baseline.ci_low

@@ -1,0 +1,127 @@
+"""Experiment execution with memoised simulation points.
+
+One figure needs dozens of ``(a, U)`` simulation points and several figures
+share points (e.g. every "vs accuracy" figure uses the same 33-run grid).
+:class:`ExperimentContext` prepares the workload and a failure trace long
+enough to cover any makespan the sweep can produce, then memoises
+:meth:`run_point` results, so regenerating all twelve figures costs one
+simulation per distinct parameter combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.metrics import SimulationMetrics
+from repro.core.system import SystemConfig, simulate
+from repro.experiments.config import ExperimentSetup
+from repro.failures.events import FailureTrace
+from repro.failures.generator import FailureModelSpec, generate_failure_trace
+from repro.workload.job import JobLog
+from repro.workload.synthetic import log_by_name
+
+#: Pessimistic utilization floor used to bound the worst-case makespan when
+#: sizing the failure trace (a = 0 with heavy failure churn runs longest).
+_WORST_CASE_UTILIZATION = 0.25
+
+#: Safety factor on top of the worst-case makespan estimate.
+_TRACE_MARGIN = 1.5
+
+
+def estimate_horizon(log: JobLog, node_count: int) -> float:
+    """Upper-bound the simulated makespan for failure-trace sizing.
+
+    The makespan is at least the arrival span and at most roughly
+    ``total work / (N * worst-case utilization)`` past it; the margin
+    covers restart churn beyond even that.
+    """
+    stats = log.stats()
+    tail = stats.total_work / (node_count * _WORST_CASE_UTILIZATION)
+    return (stats.span + tail) * _TRACE_MARGIN
+
+
+@dataclass
+class ExperimentContext:
+    """A prepared (workload, failure trace) pair with a result cache.
+
+    Attributes:
+        setup: The experiment environment description.
+        log: The synthesized (or loaded) job log.
+        failures: A failure trace covering the worst-case horizon.
+    """
+
+    setup: ExperimentSetup
+    log: JobLog
+    failures: FailureTrace
+    _cache: Dict[Tuple, SimulationMetrics] = field(default_factory=dict)
+
+    @classmethod
+    def prepare(
+        cls,
+        setup: ExperimentSetup,
+        log: Optional[JobLog] = None,
+        failures: Optional[FailureTrace] = None,
+    ) -> "ExperimentContext":
+        """Build the context, synthesising whatever is not supplied.
+
+        Passing an explicit ``log`` (e.g. a parsed SWF archive trace) swaps
+        the synthetic workload out of the entire harness.
+        """
+        if log is None:
+            log = log_by_name(
+                setup.workload, seed=setup.seed, job_count=setup.job_count
+            )
+        log = log.scaled_sizes(setup.node_count)
+        if failures is None:
+            duration = estimate_horizon(log, setup.node_count)
+            failures = generate_failure_trace(
+                duration,
+                spec=FailureModelSpec(nodes=setup.node_count),
+                seed=setup.seed,
+            )
+        return cls(setup=setup, log=log, failures=failures)
+
+    # ------------------------------------------------------------------
+    # Simulation points
+    # ------------------------------------------------------------------
+    def config(self, accuracy: float, user_threshold: float, **overrides) -> SystemConfig:
+        """The system configuration for one sweep point."""
+        parameters = dict(
+            node_count=self.setup.node_count,
+            downtime=self.setup.downtime,
+            checkpoint_overhead=self.setup.checkpoint_overhead,
+            checkpoint_interval=self.setup.checkpoint_interval,
+            accuracy=accuracy,
+            user_threshold=user_threshold,
+            seed=self.setup.seed,
+        )
+        parameters.update(overrides)
+        return SystemConfig(**parameters)
+
+    def run_point(
+        self, accuracy: float, user_threshold: float, **overrides
+    ) -> SimulationMetrics:
+        """Simulate one ``(a, U)`` point (memoised).
+
+        Keyword overrides (checkpoint policy, placement, topology, ...)
+        participate in the cache key, so ablations coexist safely in one
+        context.
+        """
+        key = (
+            round(accuracy, 6),
+            round(user_threshold, 6),
+            tuple(sorted(overrides.items())),
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        config = self.config(accuracy, user_threshold, **overrides)
+        result = simulate(config, self.log, self.failures)
+        self._cache[key] = result.metrics
+        return result.metrics
+
+    @property
+    def cached_points(self) -> int:
+        """Number of memoised simulation results."""
+        return len(self._cache)

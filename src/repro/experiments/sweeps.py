@@ -1,0 +1,91 @@
+"""Parameter sweeps over prediction accuracy ``a`` and user threshold ``U``.
+
+Thin, typed wrappers around :class:`~repro.experiments.runner
+.ExperimentContext` that produce the (x, metric) series the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.metrics import SimulationMetrics
+from repro.experiments.config import SWEEP_GRID
+from repro.experiments.runner import ExperimentContext
+
+#: Extractors for the paper's three metrics.
+METRIC_EXTRACTORS: Dict[str, Callable[[SimulationMetrics], float]] = {
+    "qos": lambda m: m.qos,
+    "utilization": lambda m: m.utilization,
+    "lost_work": lambda m: m.lost_work,
+}
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve: a label and its (x, y) points."""
+
+    label: str
+    points: Tuple[Tuple[float, float], ...]
+
+    @property
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+
+def accuracy_sweep(
+    ctx: ExperimentContext,
+    metric: str,
+    user_thresholds: Sequence[float],
+    accuracies: Sequence[float] = tuple(SWEEP_GRID),
+    **overrides,
+) -> List[Series]:
+    """``metric`` versus prediction accuracy, one series per ``U``.
+
+    This is the engine behind Figures 1-6: for each highlighted user
+    strategy, simulate every accuracy on the grid.
+    """
+    extract = METRIC_EXTRACTORS[metric]
+    series = []
+    for u in user_thresholds:
+        points = tuple(
+            (a, extract(ctx.run_point(a, u, **overrides))) for a in accuracies
+        )
+        series.append(Series(label=f"U={u:g}", points=points))
+    return series
+
+
+def user_sweep(
+    ctx: ExperimentContext,
+    metric: str,
+    accuracy: float,
+    user_thresholds: Sequence[float] = tuple(SWEEP_GRID),
+    **overrides,
+) -> Series:
+    """``metric`` versus user threshold at fixed accuracy (Figures 7-12)."""
+    extract = METRIC_EXTRACTORS[metric]
+    points = tuple(
+        (u, extract(ctx.run_point(accuracy, u, **overrides)))
+        for u in user_thresholds
+    )
+    return Series(label=f"a={accuracy:g}", points=points)
+
+
+def endpoint_comparison(
+    ctx: ExperimentContext, user_threshold: float = 0.9, **overrides
+) -> Dict[str, Tuple[float, float]]:
+    """The headline no-prediction vs perfect-prediction comparison.
+
+    Returns ``{metric: (value at a=0, value at a=1)}`` — the paper's "as
+    much as 6% QoS/utilization improvement, ~9x lost-work reduction".
+    """
+    baseline = ctx.run_point(0.0, user_threshold, **overrides)
+    perfect = ctx.run_point(1.0, user_threshold, **overrides)
+    return {
+        name: (extract(baseline), extract(perfect))
+        for name, extract in METRIC_EXTRACTORS.items()
+    }

@@ -1,0 +1,50 @@
+"""Failure substrate: events, bursty generator, filtering, renewal models."""
+
+from repro.failures.analysis import (
+    TraceSummary,
+    hourly_histogram,
+    per_node_counts,
+    summarize_trace,
+)
+from repro.failures.events import FailureEvent, FailureTrace, RawEvent, Severity
+from repro.failures.filtering import (
+    FilteringQuality,
+    FilterSpec,
+    evaluate_filtering,
+    filter_raw_log,
+)
+from repro.failures.generator import (
+    AIX_SPEC,
+    FailureModelSpec,
+    aix_like_trace,
+    generate_failure_trace,
+    generate_raw_log,
+)
+from repro.failures.models import (
+    RenewalSpec,
+    burstiness_coefficient,
+    generate_renewal_trace,
+)
+
+__all__ = [
+    "TraceSummary",
+    "hourly_histogram",
+    "per_node_counts",
+    "summarize_trace",
+    "FailureEvent",
+    "FailureTrace",
+    "RawEvent",
+    "Severity",
+    "FilteringQuality",
+    "FilterSpec",
+    "evaluate_filtering",
+    "filter_raw_log",
+    "AIX_SPEC",
+    "FailureModelSpec",
+    "aix_like_trace",
+    "generate_failure_trace",
+    "generate_raw_log",
+    "RenewalSpec",
+    "burstiness_coefficient",
+    "generate_renewal_trace",
+]

@@ -1,0 +1,38 @@
+"""Event-prediction substrate: interfaces, trace oracle, online predictor."""
+
+from repro.prediction.base import (
+    NullPredictor,
+    PredictedFailure,
+    Predictor,
+    combine_independent,
+)
+from repro.prediction.evaluation import (
+    PredictionQuality,
+    evaluate_predictor,
+    recall_by_lead,
+)
+from repro.prediction.health import (
+    EventWindowIndex,
+    HealthModel,
+    HealthSample,
+    THERMAL_SUBSYSTEMS,
+)
+from repro.prediction.online import OnlinePredictor, OnlinePredictorConfig
+from repro.prediction.trace import TracePredictor
+
+__all__ = [
+    "NullPredictor",
+    "PredictedFailure",
+    "Predictor",
+    "combine_independent",
+    "PredictionQuality",
+    "evaluate_predictor",
+    "recall_by_lead",
+    "EventWindowIndex",
+    "HealthModel",
+    "HealthSample",
+    "THERMAL_SUBSYSTEMS",
+    "OnlinePredictor",
+    "OnlinePredictorConfig",
+    "TracePredictor",
+]

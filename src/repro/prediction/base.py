@@ -1,0 +1,95 @@
+"""Predictor interface.
+
+The paper's predictor contract (Section 3.2): *"The prediction algorithm is
+given a set (partition) of nodes and a time window, and returns the
+estimated probability of failure."*  Every predictor in the library — the
+trace-based simulation device, the null predictor, and the online
+health-signal predictor — implements :class:`Predictor`.
+
+A second method, :meth:`Predictor.predicted_failures`, exposes the *times*
+of predicted failures in a window.  The scheduler's negotiation loop uses it
+to advance candidate start times past a predicted failure instead of probing
+blindly, and the checkpointing policy uses the window probability alone.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class PredictedFailure:
+    """One failure a predictor is willing to disclose for a window.
+
+    Attributes:
+        time: Predicted failure time (seconds).
+        node: Node expected to fail.
+        probability: Predictor's confidence the failure occurs, in [0, 1].
+    """
+
+    time: float
+    node: int
+    probability: float
+
+
+class Predictor(abc.ABC):
+    """Estimates failure probabilities for node sets over time windows."""
+
+    @abc.abstractmethod
+    def failure_probability(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> float:
+        """Probability that *some* node in ``nodes`` fails in ``[start, end)``.
+
+        Returns 0.0 when no failure is predicted; never raises for empty
+        node sets or zero-length windows (both trivially return 0.0).
+        """
+
+    @abc.abstractmethod
+    def predicted_failures(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> List[PredictedFailure]:
+        """All failures the predictor discloses in the window, time-sorted.
+
+        ``failure_probability`` must be consistent with this list: it
+        reflects the first (earliest) disclosed failure, matching the
+        paper's "considers them in order of time" semantics.
+        """
+
+    def node_failure_probability(self, node: int, start: float, end: float) -> float:
+        """Single-node convenience used for placement scoring."""
+        return self.failure_probability((node,), start, end)
+
+
+class NullPredictor(Predictor):
+    """A predictor with no information (the paper's no-forecasting system).
+
+    Equivalent to the trace predictor at accuracy ``a = 0``: it never
+    predicts anything, so fault-aware placement degrades to arbitrary
+    tie-breaking and risk-based checkpointing sees ``p_f = 0`` everywhere.
+    """
+
+    def failure_probability(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> float:
+        return 0.0
+
+    def predicted_failures(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> List[PredictedFailure]:
+        return []
+
+
+def combine_independent(probabilities: Sequence[float]) -> float:
+    """Probability that at least one of several independent events occurs.
+
+    Utility for predictors that model per-node hazards independently:
+    ``1 - prod(1 - p_i)``, clipped into [0, 1].
+    """
+    survival = 1.0
+    for p in probabilities:
+        p = min(max(p, 0.0), 1.0)
+        survival *= 1.0 - p
+    return 1.0 - survival

@@ -1,0 +1,238 @@
+"""System-health monitoring and modelling substrate (paper Section 3.1).
+
+The paper's health monitor collects "physical and logical data about the
+state of the machine, including information such as node temperatures, power
+consumption, error messages, problem flags, and maintenance schedules" at a
+central location, and feeds the event predictor.
+
+This module provides that telemetry for the simulated cluster:
+
+* continuous per-node signals (temperature, load, power) synthesised as
+  deterministic functions of ``(node, time, seed)`` — baseline + diurnal
+  cycle + node personality + noise — so arbitrarily long histories can be
+  sampled lazily without storing them;
+* pre-failure signatures: failures whose subsystem is thermal/power-like
+  ramp the node's temperature over the preceding hour, giving the online
+  time-series model something real to detect (mirroring the linear
+  time-series half of the Sahoo et al. predictor);
+* the logical event stream (warnings/errors) comes from the raw log
+  produced by :func:`repro.failures.generator.generate_raw_log`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.failures.events import FailureTrace, RawEvent, Severity
+from repro.sim.rng import stable_uniform
+
+#: Subsystems whose failures exhibit a continuous (temperature) precursor.
+THERMAL_SUBSYSTEMS = frozenset({"power", "memory"})
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """One telemetry sample for one node.
+
+    Attributes:
+        time: Sample timestamp (seconds).
+        node: Node index.
+        temperature: Die temperature in degrees Celsius.
+        load: CPU load in [0, 1].
+        power: Power draw in watts.
+    """
+
+    time: float
+    node: int
+    temperature: float
+    load: float
+    power: float
+
+
+class HealthModel:
+    """Lazily-evaluated cluster telemetry with pre-failure signatures.
+
+    Args:
+        trace: Ground-truth failures; thermal-subsystem failures imprint a
+            temperature ramp over :attr:`ramp_lead` seconds before the
+            event.
+        seed: Seed for per-node personalities and noise.
+        base_temperature: Idle die temperature.
+        ramp_lead: How long before a thermal failure the ramp starts.
+        ramp_magnitude: Peak excess temperature at the failure instant.
+    """
+
+    def __init__(
+        self,
+        trace: FailureTrace,
+        seed: Optional[int] = None,
+        base_temperature: float = 48.0,
+        ramp_lead: float = 3600.0,
+        ramp_magnitude: float = 22.0,
+    ) -> None:
+        self._trace = trace
+        self._seed = seed
+        self.base_temperature = base_temperature
+        self.ramp_lead = ramp_lead
+        self.ramp_magnitude = ramp_magnitude
+        # Per-node thermal failure times, sorted, for ramp lookup.
+        self._thermal_times: Dict[int, List[float]] = {}
+        for event in trace:
+            if event.subsystem in THERMAL_SUBSYSTEMS:
+                self._thermal_times.setdefault(event.node, []).append(event.time)
+        for times in self._thermal_times.values():
+            times.sort()
+
+    # ------------------------------------------------------------------
+    # Continuous signals
+    # ------------------------------------------------------------------
+    def _personality(self, node: int, trait: str) -> float:
+        """Stable per-node offset in [0, 1) for a named trait."""
+        return stable_uniform(f"health:{trait}:{node}", self._seed)
+
+    def _noise(self, node: int, time: float, trait: str) -> float:
+        """Deterministic pseudo-noise in [-0.5, 0.5) at minute granularity."""
+        minute = int(time // 60.0)
+        return stable_uniform(f"noise:{trait}:{node}:{minute}", self._seed) - 0.5
+
+    def _ramp(self, node: int, time: float) -> float:
+        """Excess temperature from an approaching thermal failure."""
+        times = self._thermal_times.get(node)
+        if not times:
+            return 0.0
+        idx = bisect_left(times, time)
+        if idx >= len(times):
+            return 0.0
+        lead = times[idx] - time
+        if lead > self.ramp_lead or lead < 0:
+            return 0.0
+        return self.ramp_magnitude * (1.0 - lead / self.ramp_lead)
+
+    def load(self, node: int, time: float) -> float:
+        """CPU load in [0, 1]: diurnal cycle + personality + noise."""
+        hours = (time % 86400.0) / 3600.0
+        diurnal = 0.5 + 0.3 * math.sin((hours - 9.0) * math.pi / 12.0)
+        personality = 0.2 * (self._personality(node, "load") - 0.5)
+        noise = 0.2 * self._noise(node, time, "load")
+        return min(1.0, max(0.0, diurnal + personality + noise))
+
+    def temperature(self, node: int, time: float) -> float:
+        """Die temperature: base + load heating + personality + ramp."""
+        heating = 18.0 * self.load(node, time)
+        personality = 6.0 * (self._personality(node, "temp") - 0.5)
+        noise = 2.0 * self._noise(node, time, "temp")
+        return self.base_temperature + heating + personality + noise + self._ramp(
+            node, time
+        )
+
+    def power(self, node: int, time: float) -> float:
+        """Power draw in watts, tracking load."""
+        return 120.0 + 160.0 * self.load(node, time) + 10.0 * self._noise(
+            node, time, "power"
+        )
+
+    def sample(self, node: int, time: float) -> HealthSample:
+        """A full telemetry sample for ``(node, time)``."""
+        return HealthSample(
+            time=time,
+            node=node,
+            temperature=self.temperature(node, time),
+            load=self.load(node, time),
+            power=self.power(node, time),
+        )
+
+    def temperature_series(
+        self, node: int, start: float, end: float, step: float = 300.0
+    ) -> List[HealthSample]:
+        """Regularly sampled telemetry over ``[start, end)``."""
+        if step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        samples = []
+        t = start
+        while t < end:
+            samples.append(self.sample(node, t))
+            t += step
+        return samples
+
+    def temperature_slope(
+        self, node: int, time: float, lookback: float = 3600.0, points: int = 13
+    ) -> float:
+        """Least-squares slope (deg C per hour) of recent temperature.
+
+        This is the "linear time series model for the roughly continuous
+        variables" of the Sahoo predictor, reduced to its decision-relevant
+        output: a sustained positive slope flags an impending thermal event.
+        """
+        if points < 2:
+            raise ValueError(f"points must be >= 2, got {points}")
+        step = lookback / (points - 1)
+        xs = [time - lookback + i * step for i in range(points)]
+        ys = [self.temperature(node, x) for x in xs]
+        mean_x = sum(xs) / points
+        mean_y = sum(ys) / points
+        num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        den = sum((x - mean_x) ** 2 for x in xs)
+        if den == 0:
+            return 0.0
+        return (num / den) * 3600.0
+
+
+class EventWindowIndex:
+    """Per-node index over a raw event log for sliding-window queries.
+
+    Supports the logical half of the online predictor: "how many WARNING+
+    records did node ``n`` emit in the ``window`` seconds before ``t``?"
+    """
+
+    def __init__(self, records: Sequence[RawEvent]) -> None:
+        self._times: Dict[int, List[float]] = {}
+        self._weights: Dict[int, List[float]] = {}
+        self._failure_times: Dict[int, List[float]] = {}
+        severity_weight = {
+            Severity.WARNING: 1.0,
+            Severity.ERROR: 2.5,
+            Severity.FATAL: 2.0,
+            Severity.FAILURE: 2.0,
+        }
+        for record in sorted(records, key=lambda r: r.time):
+            if record.severity >= Severity.FATAL:
+                # The failure already happened; it is a *reset*, not a
+                # precursor — post-repair nodes start clean.
+                self._failure_times.setdefault(record.node, []).append(record.time)
+                continue
+            weight = severity_weight.get(record.severity)
+            if weight is None:
+                continue  # INFO records carry no predictive weight
+            self._times.setdefault(record.node, []).append(record.time)
+            self._weights.setdefault(record.node, []).append(weight)
+        self._prefix: Dict[int, List[float]] = {}
+        for node, weights in self._weights.items():
+            acc, prefix = 0.0, [0.0]
+            for w in weights:
+                acc += w
+                prefix.append(acc)
+            self._prefix[node] = prefix
+
+    def score(self, node: int, time: float, window: float = 3600.0) -> float:
+        """Severity-weighted count of precursor events in the lookback.
+
+        The lookback is ``[time - window, time)`` truncated at the node's
+        most recent critical (FATAL/FAILURE) record: evidence from before a
+        failure-and-repair cycle says nothing about the *next* failure.
+        """
+        times = self._times.get(node)
+        if not times:
+            return 0.0
+        window_start = time - window
+        failures = self._failure_times.get(node)
+        if failures:
+            idx = bisect_left(failures, time)
+            if idx > 0:
+                window_start = max(window_start, failures[idx - 1])
+        lo = bisect_left(times, window_start)
+        hi = bisect_left(times, time)
+        prefix = self._prefix[node]
+        return prefix[hi] - prefix[lo]

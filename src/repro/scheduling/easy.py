@@ -1,0 +1,313 @@
+"""EASY (aggressive) backfilling — the no-guarantees comparator.
+
+The paper's scheduler must quote a deadline at submission, which forces
+*conservative* backfilling (every job booked on arrival).  The classical
+alternative, EASY backfilling, keeps only one reservation — for the queue
+head — and starts any other job that fits in the meantime without delaying
+that head.  EASY typically achieves lower waits and equal-or-better
+utilization, but it cannot promise anything: a job's start time depends on
+future arrivals.
+
+:class:`EasyBackfillSimulator` replays the same workloads and failure
+traces as :class:`~repro.core.system.ProbabilisticQoSSystem` under EASY, so
+the *price of promises* — the utilization/wait gap between the two
+disciplines — can be measured (see
+``benchmarks/test_ablation_scheduler_discipline.py``).  Checkpointing is
+periodic or disabled (EASY here models the prediction-free world).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.checkpointing.runtime import JobRun, padded_remaining
+from repro.cluster.machine import Cluster
+from repro.core.metrics import MetricsCollector, SimulationMetrics
+from repro.failures.events import FailureTrace
+from repro.sim.engine import EventLoop
+from repro.sim.events import Event, EventKind
+from repro.workload.job import Job, JobLog
+
+
+@dataclass(frozen=True)
+class EasyConfig:
+    """Configuration of the EASY comparator.
+
+    Attributes:
+        node_count: Cluster width.
+        downtime: Node repair time, seconds.
+        checkpoint_overhead: ``C`` for the periodic policy.
+        checkpoint_interval: ``I`` for the periodic policy.
+        checkpointing: ``True`` = periodic checkpoints, ``False`` = none.
+    """
+
+    node_count: int = 128
+    downtime: float = 120.0
+    checkpoint_overhead: float = 720.0
+    checkpoint_interval: float = 3600.0
+    checkpointing: bool = True
+
+
+@dataclass
+class _EasyJobState:
+    job: Job
+    saved_progress: float = 0.0
+    run: Optional[JobRun] = None
+    done: bool = False
+    waiting: bool = False
+    run_event: Optional[Event] = None
+
+
+class EasyBackfillSimulator:
+    """Replays a workload under EASY backfilling (no promises, no prediction)."""
+
+    def __init__(
+        self, config: EasyConfig, workload: JobLog, failures: FailureTrace
+    ) -> None:
+        self.config = config
+        self.workload = workload
+        self.failures = failures
+        self.cluster = Cluster(config.node_count, downtime=config.downtime)
+        self.metrics = MetricsCollector()
+        self.loop = EventLoop()
+        self._states: Dict[int, _EasyJobState] = {}
+        #: Waiting job ids in FCFS order of original arrival.
+        self._queue: List[int] = []
+        self._unfinished = 0
+        self._failure_cursor = 0
+        register = self.loop.register
+        register(EventKind.ARRIVAL, self._on_arrival)
+        register(EventKind.FINISH, self._on_finish)
+        register(EventKind.FAILURE, self._on_failure)
+        register(EventKind.RECOVERY, self._on_recovery)
+        register(EventKind.CHECKPOINT_REQUEST, self._on_checkpoint_request)
+        register(EventKind.CHECKPOINT_FINISH, self._on_checkpoint_finish)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationMetrics:
+        for job in self.workload:
+            if job.size > self.config.node_count:
+                raise ValueError(
+                    f"job {job.job_id} wider than the cluster; clip the log"
+                )
+            self._states[job.job_id] = _EasyJobState(job=job)
+            self.metrics.register_job(job)
+            self.loop.schedule(job.arrival_time, EventKind.ARRIVAL, job_id=job.job_id)
+        self._unfinished = len(self.workload)
+        self._schedule_next_failure()
+        self.loop.run()
+        return self.metrics.finalize(self.config.node_count)
+
+    # ------------------------------------------------------------------
+    # Scheduling pass (the EASY core)
+    # ------------------------------------------------------------------
+    def _padded(self, remaining: float) -> float:
+        if not self.config.checkpointing:
+            return remaining
+        return padded_remaining(
+            remaining, self.config.checkpoint_interval, self.config.checkpoint_overhead
+        )
+
+    def _expected_release_times(self) -> List[Tuple[float, int]]:
+        """(expected completion, width) per running job, soonest first."""
+        releases = []
+        for job_id in self.cluster.running_jobs():
+            state = self._states[job_id]
+            run = state.run
+            assert run is not None
+            remaining_wall = self._padded(max(run.remaining_work, 1e-9))
+            releases.append((self.loop.now + remaining_wall, state.job.size))
+        releases.sort()
+        return releases
+
+    def _free_now(self) -> int:
+        return sum(
+            1 for node in self.cluster.nodes if node.is_up and not node.is_busy
+        )
+
+    def _shadow_time(self, head_size: int) -> Tuple[float, int]:
+        """When the queue head can start, and the spare nodes at that time.
+
+        Walks the expected releases until enough nodes accumulate for the
+        head; the *extra* nodes beyond the head's need at that instant may
+        be used by backfill jobs running past the shadow time.
+        """
+        available = self._free_now()
+        if available >= head_size:
+            return self.loop.now, available - head_size
+        for release_time, width in self._expected_release_times():
+            available += width
+            if available >= head_size:
+                return release_time, available - head_size
+        return float("inf"), 0
+
+    def _schedule_pass(self) -> None:
+        """Start the head if possible; otherwise backfill behind it."""
+        now = self.loop.now
+        while self._queue:
+            head = self._states[self._queue[0]]
+            if self._try_start(head):
+                self._queue.pop(0)
+                continue
+            break
+        if not self._queue:
+            return
+        head = self._states[self._queue[0]]
+        shadow, spare = self._shadow_time(head.job.size)
+        for job_id in list(self._queue[1:]):
+            state = self._states[job_id]
+            free = self._free_now()
+            if state.job.size > free:
+                continue
+            remaining_wall = self._padded(state.job.runtime - state.saved_progress)
+            fits_before_shadow = now + remaining_wall <= shadow + 1e-9
+            fits_in_spare = state.job.size <= spare
+            if not (fits_before_shadow or fits_in_spare):
+                continue
+            if self._try_start(state):
+                self._queue.remove(job_id)
+                if fits_in_spare and not fits_before_shadow:
+                    spare -= state.job.size
+
+    def _try_start(self, state: _EasyJobState) -> bool:
+        up_idle = [
+            node.index
+            for node in self.cluster.nodes
+            if node.is_up and not node.is_busy
+        ]
+        if len(up_idle) < state.job.size:
+            return False
+        nodes = up_idle[: state.job.size]
+        self.cluster.start_job(state.job.job_id, nodes)
+        state.waiting = False
+        now = self.loop.now
+        self.metrics.record_start(state.job.job_id, now)
+        state.run = JobRun(
+            job_id=state.job.job_id,
+            total_work=state.job.runtime,
+            interval=self.config.checkpoint_interval,
+            overhead=self.config.checkpoint_overhead,
+            saved_progress=state.saved_progress,
+            start_time=now,
+        )
+        self._schedule_run_event(state)
+        return True
+
+    def _schedule_run_event(self, state: _EasyJobState) -> None:
+        run = state.run
+        assert run is not None
+        kind, delay = run.next_event_delay()
+        event_kind = (
+            EventKind.FINISH if kind == "finish" else EventKind.CHECKPOINT_REQUEST
+        )
+        state.run_event = self.loop.schedule_in(
+            delay, event_kind, job_id=state.job.job_id
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, event: Event) -> None:
+        state = self._states[event.payload["job_id"]]
+        state.waiting = True
+        self._queue.append(state.job.job_id)
+        self._queue.sort(key=lambda jid: self._states[jid].job.arrival_time)
+        self._schedule_pass()
+
+    def _on_finish(self, event: Event) -> None:
+        job_id = event.payload["job_id"]
+        state = self._states[job_id]
+        if state.run is None:
+            return
+        state.run.finish(self.loop.now)
+        state.run = None
+        state.run_event = None
+        state.done = True
+        self._unfinished -= 1
+        self.cluster.remove_job(job_id)
+        self.metrics.record_finish(job_id, self.loop.now)
+        self._schedule_pass()
+
+    def _on_checkpoint_request(self, event: Event) -> None:
+        job_id = event.payload["job_id"]
+        state = self._states[job_id]
+        run = state.run
+        if run is None:
+            return
+        now = self.loop.now
+        run.reach_request(now)
+        if self.config.checkpointing:
+            run.begin_checkpoint(now)
+            self.metrics.record_checkpoint(
+                job_id, performed=True, overhead=self.config.checkpoint_overhead
+            )
+            state.run_event = self.loop.schedule_in(
+                self.config.checkpoint_overhead,
+                EventKind.CHECKPOINT_FINISH,
+                job_id=job_id,
+            )
+        else:
+            run.skip_checkpoint(now)
+            self.metrics.record_checkpoint(job_id, performed=False)
+            self._schedule_run_event(state)
+
+    def _on_checkpoint_finish(self, event: Event) -> None:
+        job_id = event.payload["job_id"]
+        state = self._states[job_id]
+        run = state.run
+        if run is None:
+            return
+        run.complete_checkpoint(self.loop.now)
+        state.saved_progress = run.saved_progress
+        self._schedule_run_event(state)
+
+    def _on_failure(self, event: Event) -> None:
+        node = event.payload["node"]
+        now = self.loop.now
+        victim_id, recovery = self.cluster.fail_node(node, now)
+        self.loop.schedule(recovery, EventKind.RECOVERY, node=node)
+        if victim_id is not None:
+            state = self._states[victim_id]
+            run = state.run
+            assert run is not None
+            lost_wall, durable = run.kill(now)
+            self.metrics.record_failure_hit(victim_id, lost_wall * state.job.size)
+            state.saved_progress = durable
+            state.run = None
+            if state.run_event is not None:
+                state.run_event.cancel()
+                state.run_event = None
+            self.cluster.remove_job(victim_id)
+            state.waiting = True
+            self._queue.append(victim_id)
+            self._queue.sort(key=lambda jid: self._states[jid].job.arrival_time)
+        if self._unfinished > 0:
+            self._schedule_next_failure()
+        self._schedule_pass()
+
+    def _on_recovery(self, event: Event) -> None:
+        self.cluster.recover_node(event.payload["node"], self.loop.now)
+        self._schedule_pass()
+
+    def _schedule_next_failure(self) -> None:
+        while self._failure_cursor < len(self.failures):
+            failure = self.failures[self._failure_cursor]
+            self._failure_cursor += 1
+            if failure.node >= self.config.node_count:
+                continue
+            if failure.time < self.loop.now:
+                continue
+            self.loop.schedule(
+                failure.time, EventKind.FAILURE, node=failure.node
+            )
+            return
+
+
+def simulate_easy(
+    config: EasyConfig, workload: JobLog, failures: FailureTrace
+) -> SimulationMetrics:
+    """One-call convenience for the EASY comparator."""
+    return EasyBackfillSimulator(config, workload, failures).run()

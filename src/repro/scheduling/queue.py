@@ -1,0 +1,77 @@
+"""Wait-queue bookkeeping: pending starts and failure requeues.
+
+Under conservative backfilling the classical wait queue is mostly empty —
+every negotiated job immediately holds a reservation.  Two transient queues
+remain:
+
+* **pending starts** — jobs whose reserved start time has arrived but whose
+  nodes are momentarily unavailable (a node is inside its 120 s repair
+  window, or the previous occupant overran after its own delayed start);
+  they retry whenever resources change;
+* **requeues** — jobs killed by a failure, waiting (in FCFS order of their
+  kill time) for a fresh reservation for their remaining work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+
+class PendingStarts:
+    """Jobs at-or-past their reserved start, blocked on node availability.
+
+    Preserves insertion (blocking) order so starvation is impossible: the
+    longest-blocked job is retried first whenever a retry sweep runs.
+    """
+
+    def __init__(self) -> None:
+        self._blocked: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._blocked)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._blocked
+
+    def add(self, job_id: int) -> None:
+        """Register a blocked start (idempotent, keeps original position)."""
+        if job_id not in self._blocked:
+            self._blocked[job_id] = None
+
+    def remove(self, job_id: int) -> None:
+        """Drop a job (it started, or was killed while blocked)."""
+        self._blocked.pop(job_id, None)
+
+    def snapshot(self) -> List[int]:
+        """Blocked job ids in retry order (safe to mutate during retries)."""
+        return list(self._blocked)
+
+
+class RequeueQueue:
+    """FCFS queue of failure victims awaiting re-reservation."""
+
+    def __init__(self) -> None:
+        self._items: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def push(self, job_id: int) -> None:
+        if job_id in self._items:
+            raise ValueError(f"job {job_id} is already queued for restart")
+        self._items.append(job_id)
+
+    def pop(self) -> Optional[int]:
+        """Next victim to re-reserve, or None when empty."""
+        if not self._items:
+            return None
+        return self._items.pop(0)
+
+    def drain(self) -> List[int]:
+        """Remove and return all queued victims in FCFS order."""
+        items, self._items = self._items, []
+        return items

@@ -1,0 +1,111 @@
+"""Event taxonomy for the trace-driven cluster simulator.
+
+The paper (Section 4.1) enumerates seven event kinds processed by its
+event-driven simulator:
+
+1. *arrival* events — a job is submitted and negotiation begins;
+2. *start* events — a scheduled job begins executing on its partition;
+3. *finish* events — a job completes its remaining work;
+4. *failure* events — a node fails, killing any job running on it;
+5. *recovery* events — a failed node becomes available again;
+6. *checkpoint start* events — a job begins writing a checkpoint;
+7. *checkpoint finish* events — a checkpoint completes and becomes durable.
+
+This module defines those kinds plus two bookkeeping kinds used internally
+(checkpoint *requests*, which the cooperative policy may skip before a
+checkpoint ever starts, and *wakeups* used to re-test start conditions).
+
+Ordering: events are processed in time order; ties are broken by an explicit
+per-kind priority (see :data:`TIE_BREAK_ORDER`) and then by insertion order,
+so simulations are fully deterministic.  The tie-break order encodes the
+semantics chosen for simultaneous events: completions and recoveries free
+resources *before* arrivals and starts observe the cluster, and a failure at
+the same instant as a finish does not kill the finished job.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class EventKind(enum.Enum):
+    """The kinds of events the cluster simulator processes."""
+
+    #: A checkpoint write completes; saved progress becomes durable.
+    CHECKPOINT_FINISH = "checkpoint_finish"
+    #: A job completes its final piece of work and leaves the system.
+    FINISH = "finish"
+    #: A previously failed node becomes available again.
+    RECOVERY = "recovery"
+    #: A node fails; any job running on it is killed.
+    FAILURE = "failure"
+    #: A job is submitted; deadline negotiation happens here.
+    ARRIVAL = "arrival"
+    #: A job's reservation matured; attempt to start it.
+    START = "start"
+    #: A job reaches a checkpoint request point (may be skipped).
+    CHECKPOINT_REQUEST = "checkpoint_request"
+    #: A checkpoint write begins (job progress pauses for the overhead C).
+    CHECKPOINT_START = "checkpoint_start"
+    #: Internal: re-evaluate pending starts after resources changed.
+    WAKEUP = "wakeup"
+
+
+#: Processing order for events that share a timestamp.  Lower comes first.
+#:
+#: Rationale, in order:
+#:   * checkpoint/job completions first so that a simultaneous failure does
+#:     not destroy work that semantically finished at that instant;
+#:   * recoveries next so arrivals/starts observe recovered nodes;
+#:   * failures before arrivals/starts so that new work is never placed on a
+#:     node that is down "as of" this instant;
+#:   * wakeups last so they see the final resource state of the timestep.
+TIE_BREAK_ORDER: Dict[EventKind, int] = {
+    EventKind.CHECKPOINT_FINISH: 0,
+    EventKind.FINISH: 1,
+    EventKind.RECOVERY: 2,
+    EventKind.FAILURE: 3,
+    EventKind.ARRIVAL: 4,
+    EventKind.START: 5,
+    EventKind.CHECKPOINT_REQUEST: 6,
+    EventKind.CHECKPOINT_START: 7,
+    EventKind.WAKEUP: 8,
+}
+
+
+@dataclass
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Events are created through :meth:`repro.sim.engine.EventLoop.schedule`;
+    user code normally only inspects ``time``, ``kind`` and ``payload``.
+
+    Attributes:
+        time: Simulated timestamp (seconds) at which the event fires.
+        kind: The :class:`EventKind` dispatched to the matching handler.
+        payload: Free-form keyword data for the handler (job, node id, ...).
+        seq: Insertion sequence number; with :data:`TIE_BREAK_ORDER` this
+            makes processing order total and deterministic.
+        cancelled: Lazily-deleted flag; cancelled events are skipped when
+            popped rather than removed from the heap.
+    """
+
+    time: float
+    kind: EventKind
+    payload: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the loop discards it instead of dispatching."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple:
+        """Total ordering key: (time, per-kind tie-break, insertion order)."""
+        return (self.time, TIE_BREAK_ORDER[self.kind], self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event {self.kind.value} @ {self.time:.1f}{state} {self.payload}>"

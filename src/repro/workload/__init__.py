@@ -1,0 +1,39 @@
+"""Workload substrate: job records, SWF traces, synthetic archive logs."""
+
+from repro.workload.archive import (
+    BundleManifest,
+    ensure_bundle,
+    read_bundle,
+    write_bundle,
+)
+from repro.workload.job import Job, JobLog, WorkloadStats
+from repro.workload.swf import SWFParseError, parse_swf, write_swf
+from repro.workload.synthetic import (
+    NASA_SPEC,
+    SDSC_SPEC,
+    WorkloadSpec,
+    generate_workload,
+    log_by_name,
+    nasa_log,
+    sdsc_log,
+)
+
+__all__ = [
+    "BundleManifest",
+    "ensure_bundle",
+    "read_bundle",
+    "write_bundle",
+    "Job",
+    "JobLog",
+    "WorkloadStats",
+    "SWFParseError",
+    "parse_swf",
+    "write_swf",
+    "NASA_SPEC",
+    "SDSC_SPEC",
+    "WorkloadSpec",
+    "generate_workload",
+    "log_by_name",
+    "nasa_log",
+    "sdsc_log",
+]

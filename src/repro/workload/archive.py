@@ -1,0 +1,210 @@
+"""Experiment bundles on disk: SWF workloads + failure traces + metadata.
+
+A *bundle* is a directory holding everything needed to rerun an experiment
+outside this process (or feed another simulator):
+
+```
+<dir>/
+  workload.swf        # the job log, Standard Workload Format
+  failures.csv        # event_id,time,node,subsystem
+  manifest.json       # generator parameters, seed, checksums of intent
+```
+
+Bundles serve three purposes: caching expensive synthetic generation,
+pinning the exact traces behind a published result, and interoperating —
+the SWF half loads into any archive-format tool, and real archive traces
+drop into a bundle unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.failures.generator import FailureModelSpec, generate_failure_trace
+from repro.workload.job import JobLog
+from repro.workload.swf import parse_swf, write_swf
+from repro.workload.synthetic import log_by_name
+
+WORKLOAD_FILE = "workload.swf"
+FAILURES_FILE = "failures.csv"
+MANIFEST_FILE = "manifest.json"
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BundleManifest:
+    """Provenance of a bundle's contents.
+
+    Attributes:
+        version: Manifest schema version.
+        workload: Log name (``nasa``/``sdsc``/free-form for external logs).
+        job_count: Jobs in the workload file.
+        failure_count: Events in the failure file.
+        seed: Generator seed, or None for externally sourced traces.
+        failure_duration: Horizon the failure trace covers, seconds.
+        extra: Free-form additional fields.
+    """
+
+    version: int
+    workload: str
+    job_count: int
+    failure_count: int
+    seed: Optional[int]
+    failure_duration: float
+    extra: Dict[str, str]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": self.version,
+                "workload": self.workload,
+                "job_count": self.job_count,
+                "failure_count": self.failure_count,
+                "seed": self.seed,
+                "failure_duration": self.failure_duration,
+                "extra": self.extra,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BundleManifest":
+        data = json.loads(text)
+        if data.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported bundle manifest version {data.get('version')!r}"
+            )
+        return cls(
+            version=data["version"],
+            workload=data["workload"],
+            job_count=data["job_count"],
+            failure_count=data["failure_count"],
+            seed=data.get("seed"),
+            failure_duration=data["failure_duration"],
+            extra=dict(data.get("extra", {})),
+        )
+
+
+def _write_failures(trace: FailureTrace, path: Path) -> None:
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["event_id", "time", "node", "subsystem"])
+        for event in trace:
+            writer.writerow([event.event_id, f"{event.time:.3f}", event.node,
+                             event.subsystem])
+
+
+def _read_failures(path: Path, name: str) -> FailureTrace:
+    events = []
+    with path.open("r", encoding="utf-8", newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            events.append(
+                FailureEvent(
+                    event_id=int(row["event_id"]),
+                    time=float(row["time"]),
+                    node=int(row["node"]),
+                    subsystem=row.get("subsystem", "unknown"),
+                )
+            )
+    return FailureTrace(events, name=name)
+
+
+def write_bundle(
+    directory: Union[str, Path],
+    log: JobLog,
+    failures: FailureTrace,
+    seed: Optional[int] = None,
+    failure_duration: Optional[float] = None,
+    extra: Optional[Dict[str, str]] = None,
+) -> BundleManifest:
+    """Write a bundle directory (created if needed; files overwritten).
+
+    Returns:
+        The manifest that was written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_swf(log, directory / WORKLOAD_FILE, header={"Computer": log.name})
+    _write_failures(failures, directory / FAILURES_FILE)
+    manifest = BundleManifest(
+        version=MANIFEST_VERSION,
+        workload=log.name,
+        job_count=len(log),
+        failure_count=len(failures),
+        seed=seed,
+        failure_duration=(
+            failure_duration
+            if failure_duration is not None
+            else (failures[-1].time if len(failures) else 0.0)
+        ),
+        extra=dict(extra or {}),
+    )
+    (directory / MANIFEST_FILE).write_text(manifest.to_json(), encoding="utf-8")
+    return manifest
+
+
+def read_bundle(
+    directory: Union[str, Path]
+) -> Tuple[JobLog, FailureTrace, BundleManifest]:
+    """Load a bundle directory.
+
+    Raises:
+        FileNotFoundError: If any of the three files is missing.
+        ValueError: On an unsupported manifest version.
+    """
+    directory = Path(directory)
+    manifest = BundleManifest.from_json(
+        (directory / MANIFEST_FILE).read_text(encoding="utf-8")
+    )
+    log, _ = parse_swf(directory / WORKLOAD_FILE, name=manifest.workload)
+    failures = _read_failures(
+        directory / FAILURES_FILE, name=f"{manifest.workload}-failures"
+    )
+    return log, failures, manifest
+
+
+def ensure_bundle(
+    directory: Union[str, Path],
+    workload: str,
+    job_count: int,
+    seed: int,
+    failure_duration: float,
+    node_count: int = 128,
+) -> Tuple[JobLog, FailureTrace, BundleManifest]:
+    """Load a matching bundle, or generate + write it first (a disk cache).
+
+    A cached bundle is reused only when its manifest matches the requested
+    (workload, job_count, seed) exactly and covers at least the requested
+    failure horizon; otherwise it is regenerated in place.
+    """
+    directory = Path(directory)
+    if (directory / MANIFEST_FILE).exists():
+        try:
+            log, failures, manifest = read_bundle(directory)
+            if (
+                manifest.workload == workload
+                and manifest.job_count == job_count
+                and manifest.seed == seed
+                and manifest.failure_duration >= failure_duration - 1e-6
+            ):
+                return log, failures, manifest
+        except (ValueError, KeyError, FileNotFoundError):
+            pass  # stale or foreign bundle: regenerate below
+
+    log = log_by_name(workload, seed=seed, job_count=job_count)
+    failures = generate_failure_trace(
+        failure_duration, spec=FailureModelSpec(nodes=node_count), seed=seed
+    )
+    manifest = write_bundle(
+        directory, log, failures, seed=seed, failure_duration=failure_duration
+    )
+    return log, failures, manifest

@@ -1,0 +1,85 @@
+"""Unit tests for the structured trace recorder."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.analysis.tracelog import (
+    NullRecorder,
+    TraceRecord,
+    TraceRecorder,
+    load_jsonl,
+)
+
+
+class TestRecording:
+    def test_records_accumulate_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "start", job_id=1, nodes=[0, 1])
+        recorder.record(2.0, "finish", job_id=1)
+        assert len(recorder) == 2
+        assert [r.kind for r in recorder] == ["start", "finish"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace record kind"):
+            TraceRecorder().record(0.0, "teleported", job_id=1)
+
+    def test_detail_captured(self):
+        recorder = TraceRecorder()
+        recorder.record(5.0, "negotiated", job_id=3, probability=0.9)
+        assert recorder.records[0].detail == {"probability": 0.9}
+
+    def test_of_kind_filters(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "start", job_id=1)
+        recorder.record(2.0, "failure", node=4)
+        recorder.record(3.0, "start", job_id=2)
+        assert len(recorder.of_kind("start")) == 2
+        with pytest.raises(ValueError):
+            recorder.of_kind("nonsense")
+
+    def test_for_job_life_story(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "start", job_id=1)
+        recorder.record(2.0, "start", job_id=2)
+        recorder.record(3.0, "finish", job_id=1)
+        assert [r.kind for r in recorder.for_job(1)] == ["start", "finish"]
+
+    def test_counts(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "start", job_id=1)
+        recorder.record(2.0, "start", job_id=2)
+        recorder.record(3.0, "failure", node=0)
+        assert recorder.counts() == {"start": 2, "failure": 1}
+
+
+class TestStreamingAndNull:
+    def test_jsonl_streaming_roundtrip(self):
+        stream = io.StringIO()
+        recorder = TraceRecorder(stream=stream)
+        recorder.record(1.5, "start", job_id=7, nodes=[0])
+        recorder.record(9.0, "node_down", node=3, until=129.0)
+        parsed = load_jsonl(stream.getvalue().splitlines())
+        assert len(parsed) == 2
+        assert parsed[0].job_id == 7
+        assert parsed[1].node == 3
+        assert parsed[1].detail == {"until": 129.0}
+
+    def test_memory_can_be_disabled(self):
+        stream = io.StringIO()
+        recorder = TraceRecorder(stream=stream, keep_in_memory=False)
+        recorder.record(1.0, "start", job_id=1)
+        assert len(recorder) == 0
+        assert "start" in stream.getvalue()
+
+    def test_null_recorder_drops_everything(self):
+        recorder = NullRecorder()
+        recorder.record(1.0, "start", job_id=1)
+        assert len(recorder) == 0
+
+    def test_record_to_json_is_one_line(self):
+        record = TraceRecord(time=1.0, kind="finish", job_id=2)
+        assert "\n" not in record.to_json()
+        assert '"finish"' in record.to_json()

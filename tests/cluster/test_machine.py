@@ -1,0 +1,94 @@
+"""Unit tests for the cluster façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machine import Cluster
+
+
+class TestConstruction:
+    def test_width_and_downtime(self, small_cluster):
+        assert small_cluster.node_count == 16
+        assert small_cluster.downtime == 120.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Cluster(node_count=0)
+        with pytest.raises(ValueError):
+            Cluster(node_count=4, downtime=-1.0)
+
+    def test_ledger_matches_width(self, small_cluster):
+        assert small_cluster.ledger.node_count == 16
+
+
+class TestJobPlacement:
+    def test_start_and_remove(self, small_cluster):
+        small_cluster.start_job(1, [0, 1, 2])
+        assert small_cluster.running_jobs() == {1}
+        assert small_cluster.nodes_of(1) == [0, 1, 2]
+        assert small_cluster.job_on(1) == 1
+        assert small_cluster.busy_node_count() == 3
+        freed = small_cluster.remove_job(1)
+        assert freed == [0, 1, 2]
+        assert small_cluster.busy_node_count() == 0
+
+    def test_start_requires_all_nodes_available(self, small_cluster):
+        small_cluster.start_job(1, [0])
+        with pytest.raises(ValueError, match="not all up and idle"):
+            small_cluster.start_job(2, [0, 1])
+
+    def test_start_on_down_node_rejected(self, small_cluster):
+        small_cluster.fail_node(3, now=0.0)
+        assert not small_cluster.nodes_available([3])
+        with pytest.raises(ValueError):
+            small_cluster.start_job(1, [3])
+
+    def test_duplicate_start_rejected(self, small_cluster):
+        small_cluster.start_job(1, [0])
+        with pytest.raises(ValueError, match="already running"):
+            small_cluster.start_job(1, [1])
+
+    def test_empty_node_list_rejected(self, small_cluster):
+        with pytest.raises(ValueError, match="empty"):
+            small_cluster.start_job(1, [])
+
+    def test_remove_unknown_job(self, small_cluster):
+        with pytest.raises(KeyError):
+            small_cluster.remove_job(42)
+
+    def test_nodes_of_unknown_job(self, small_cluster):
+        with pytest.raises(KeyError):
+            small_cluster.nodes_of(42)
+
+
+class TestFailures:
+    def test_fail_idle_node(self, small_cluster):
+        victim, recovery = small_cluster.fail_node(5, now=100.0)
+        assert victim is None
+        assert recovery == 220.0
+        assert 5 not in small_cluster.up_nodes()
+
+    def test_fail_busy_node_reports_victim(self, small_cluster):
+        small_cluster.start_job(7, [4, 5])
+        victim, _ = small_cluster.fail_node(5, now=10.0)
+        assert victim == 7
+        # The system layer then removes the job; surviving node released.
+        small_cluster.remove_job(7)
+        assert small_cluster.busy_node_count() == 0
+
+    def test_recovery_restores_node(self, small_cluster):
+        small_cluster.fail_node(5, now=0.0)
+        small_cluster.recover_node(5, now=120.0)
+        assert 5 in small_cluster.up_nodes()
+
+    def test_down_until(self, small_cluster):
+        small_cluster.fail_node(2, now=50.0)
+        assert small_cluster.down_until(2) == 170.0
+        assert small_cluster.down_until(3) == 0.0
+
+    def test_latest_recovery(self, small_cluster):
+        small_cluster.fail_node(2, now=50.0)
+        small_cluster.fail_node(3, now=80.0)
+        assert small_cluster.latest_recovery([1, 2, 3]) == 200.0
+        assert small_cluster.latest_recovery([1]) == 0.0

@@ -1,0 +1,82 @@
+"""Unit tests for node state transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import Node, NodeState
+
+
+class TestFailure:
+    def test_fail_marks_down_and_returns_recovery_time(self):
+        node = Node(index=0)
+        recovery = node.fail(now=100.0, downtime=120.0)
+        assert node.state is NodeState.DOWN
+        assert recovery == 220.0
+        assert node.failure_count == 1
+
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(ValueError):
+            Node(index=0).fail(now=0.0, downtime=-1.0)
+
+    def test_repeat_failure_extends_repair(self):
+        node = Node(index=0)
+        node.fail(now=100.0, downtime=120.0)
+        recovery = node.fail(now=150.0, downtime=120.0)
+        assert recovery == 270.0
+        assert node.failure_count == 2
+
+    def test_fail_keeps_job_assignment(self):
+        node = Node(index=0)
+        node.assign(job_id=9)
+        node.fail(now=0.0, downtime=120.0)
+        assert node.running_job == 9  # cluster layer clears it explicitly
+
+
+class TestRecovery:
+    def test_recover_after_downtime(self):
+        node = Node(index=0)
+        node.fail(now=0.0, downtime=120.0)
+        node.recover(now=120.0)
+        assert node.is_up
+
+    def test_stale_recovery_ignored(self):
+        node = Node(index=0)
+        node.fail(now=0.0, downtime=120.0)
+        node.fail(now=60.0, downtime=120.0)  # repair extended to t=180
+        node.recover(now=120.0)  # stale event from the first failure
+        assert not node.is_up
+        node.recover(now=180.0)
+        assert node.is_up
+
+    def test_recover_when_up_is_noop(self):
+        node = Node(index=0)
+        node.recover(now=50.0)
+        assert node.is_up
+
+
+class TestAssignment:
+    def test_assign_and_release(self):
+        node = Node(index=3)
+        node.assign(7)
+        assert node.is_busy
+        node.release(7)
+        assert not node.is_busy
+
+    def test_assign_to_down_node_rejected(self):
+        node = Node(index=0)
+        node.fail(now=0.0, downtime=120.0)
+        with pytest.raises(ValueError, match="down node"):
+            node.assign(1)
+
+    def test_double_assignment_rejected(self):
+        node = Node(index=0)
+        node.assign(1)
+        with pytest.raises(ValueError, match="already runs"):
+            node.assign(2)
+
+    def test_release_wrong_job_rejected(self):
+        node = Node(index=0)
+        node.assign(1)
+        with pytest.raises(ValueError):
+            node.release(2)

@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic workloads, traces, and clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.workload.job import Job, JobLog
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+@pytest.fixture
+def tiny_jobs() -> JobLog:
+    """Five hand-written jobs with staggered arrivals on a small cluster."""
+    return JobLog(
+        [
+            Job(job_id=1, arrival_time=0.0, size=2, runtime=1800.0),
+            Job(job_id=2, arrival_time=60.0, size=4, runtime=7200.0),
+            Job(job_id=3, arrival_time=120.0, size=1, runtime=600.0),
+            Job(job_id=4, arrival_time=1800.0, size=8, runtime=3600.0),
+            Job(job_id=5, arrival_time=7200.0, size=3, runtime=5400.0),
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def tiny_failures() -> FailureTrace:
+    """Three failures: one early, one mid-trace burst pair."""
+    return FailureTrace(
+        [
+            FailureEvent(event_id=1, time=2 * HOUR, node=0, subsystem="memory"),
+            FailureEvent(event_id=2, time=5 * HOUR, node=3, subsystem="network"),
+            FailureEvent(event_id=3, time=5.1 * HOUR, node=4, subsystem="network"),
+        ],
+        name="tiny-failures",
+    )
+
+
+@pytest.fixture
+def empty_failures() -> FailureTrace:
+    return FailureTrace([], name="no-failures")
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A 16-node cluster with the paper's 120 s downtime."""
+    return Cluster(node_count=16, downtime=120.0)

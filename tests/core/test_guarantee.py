@@ -1,0 +1,63 @@
+"""Unit tests for QoS guarantees and offers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.guarantee import DeadlineOffer, QoSGuarantee
+
+
+def make_guarantee(deadline=5000.0, probability=0.9, negotiated_at=100.0):
+    return QoSGuarantee(
+        job_id=1,
+        deadline=deadline,
+        probability=probability,
+        predicted_failure_probability=1.0 - probability,
+        negotiated_at=negotiated_at,
+        planned_start=1000.0,
+        planned_nodes=(0, 1),
+    )
+
+
+class TestValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            make_guarantee(probability=1.2)
+        with pytest.raises(ValueError):
+            make_guarantee(probability=-0.1)
+
+    def test_deadline_after_negotiation(self):
+        with pytest.raises(ValueError):
+            make_guarantee(deadline=50.0, negotiated_at=100.0)
+
+
+class TestSemantics:
+    def test_slack(self):
+        assert make_guarantee().slack == 4900.0
+
+    def test_kept_on_time(self):
+        assert make_guarantee().kept(4999.0)
+        assert make_guarantee().kept(5000.0)
+
+    def test_broken_when_late(self):
+        assert not make_guarantee().kept(5001.0)
+
+    def test_broken_when_never_finished(self):
+        assert not make_guarantee().kept(None)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            make_guarantee().probability = 0.5
+
+
+class TestDeadlineOffer:
+    def test_fields(self):
+        offer = DeadlineOffer(
+            start=10.0,
+            nodes=(1, 2),
+            deadline=110.0,
+            probability=0.8,
+            failure_probability=0.2,
+        )
+        assert offer.deadline - offer.start == 100.0
+        assert offer.probability + offer.failure_probability == pytest.approx(1.0)

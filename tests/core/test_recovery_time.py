@@ -1,0 +1,104 @@
+"""Tests for the recovery-time (R) model parameter.
+
+The paper sets ``R = 0`` ("downtime in supercomputing clusters is typically
+extremely expensive, and resources are usually on-hand to minimize this");
+exposing R as a parameter lets that modelling choice be validated: small R
+barely moves outcomes, large R visibly stretches restarts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.runtime import JobRun
+from repro.core.system import SystemConfig, simulate
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.workload.job import Job, JobLog
+
+HOUR = 3600.0
+
+
+def one_wide_job():
+    return JobLog(
+        [Job(job_id=1, arrival_time=0.0, size=16, runtime=3 * HOUR)], name="wide"
+    )
+
+
+def config(recovery=0.0):
+    return SystemConfig(
+        node_count=16,
+        accuracy=0.0,
+        checkpoint_policy="periodic",
+        recovery_time=recovery,
+        seed=7,
+    )
+
+
+class TestJobRunRestore:
+    def test_fresh_start_pays_no_restore(self):
+        run = JobRun(1, 10_000.0, 3600.0, 720.0, 0.0, 100.0, recovery_overhead=600.0)
+        assert run.segment_start == 100.0
+
+    def test_restart_pays_restore_before_compute(self):
+        run = JobRun(
+            1, 10_000.0, 3600.0, 720.0, 3600.0, 100.0, recovery_overhead=600.0
+        )
+        assert run.segment_start == 700.0
+
+    def test_negative_restore_rejected(self):
+        with pytest.raises(ValueError):
+            JobRun(1, 100.0, 60.0, 10.0, 0.0, 0.0, recovery_overhead=-1.0)
+
+    def test_kill_during_restore_loses_nothing_extra(self):
+        run = JobRun(
+            1, 10_000.0, 3600.0, 720.0, 3600.0, 100.0, recovery_overhead=600.0
+        )
+        lost, durable = run.kill(300.0)  # mid-restore
+        assert durable == 3600.0  # checkpointed progress intact
+        assert lost == pytest.approx(200.0)  # occupied wall time since start
+
+
+class TestSystemWithRecoveryTime:
+    def test_zero_recovery_matches_paper_default(self):
+        failures = FailureTrace([FailureEvent(1, 1.5 * HOUR, 0)])
+        baseline = simulate(config(0.0), one_wide_job(), failures)
+        explicit = simulate(SystemConfig(
+            node_count=16, accuracy=0.0, checkpoint_policy="periodic", seed=7
+        ), one_wide_job(), failures)
+        assert baseline.metrics == explicit.metrics
+
+    def test_restore_delays_completion_by_r(self):
+        failures = FailureTrace([FailureEvent(1, 1.5 * HOUR, 0)])
+        fast = simulate(config(0.0), one_wide_job(), failures)
+        slow = simulate(config(900.0), one_wide_job(), failures)
+        fast_finish = fast.outcomes[0].finish
+        slow_finish = slow.outcomes[0].finish
+        # Exactly one restart from a checkpoint: one restore window.
+        assert slow_finish == pytest.approx(fast_finish + 900.0)
+
+    def test_restore_not_charged_when_restarting_from_scratch(self):
+        # No checkpoints performed (policy never): restart reads nothing.
+        failures = FailureTrace([FailureEvent(1, 1.5 * HOUR, 0)])
+        base = simulate(
+            SystemConfig(
+                node_count=16, accuracy=0.0, checkpoint_policy="never", seed=7
+            ),
+            one_wide_job(),
+            failures,
+        )
+        with_r = simulate(
+            SystemConfig(
+                node_count=16,
+                accuracy=0.0,
+                checkpoint_policy="never",
+                recovery_time=900.0,
+                seed=7,
+            ),
+            one_wide_job(),
+            failures,
+        )
+        assert base.outcomes[0].finish == with_r.outcomes[0].finish
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(recovery_time=-1.0)

@@ -1,0 +1,231 @@
+"""Integration tests for the end-to-end simulated system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import ProbabilisticQoSSystem, SystemConfig, simulate
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.workload.job import Job, JobLog
+from repro.workload.synthetic import sdsc_log
+
+HOUR = 3600.0
+
+
+def config(**overrides):
+    defaults = dict(
+        node_count=16,
+        accuracy=0.5,
+        user_threshold=0.5,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def single_job_log(size=4, runtime=2 * HOUR):
+    return JobLog(
+        [Job(job_id=1, arrival_time=0.0, size=size, runtime=runtime)], name="one"
+    )
+
+
+class TestHappyPath:
+    def test_no_failures_all_promises_kept(self, tiny_jobs, empty_failures):
+        result = simulate(config(), tiny_jobs, empty_failures)
+        m = result.metrics
+        assert m.completed_jobs == m.job_count == 5
+        assert m.deadlines_met == 5
+        assert m.lost_work == 0.0
+        assert m.qos == pytest.approx(1.0)  # all promises at p = 1, all kept
+
+    def test_single_job_timing(self, empty_failures):
+        # 2h job, I=1h: one checkpoint request; cooperative policy skips it
+        # (no predicted failures), so the job finishes in exactly 2h.
+        result = simulate(config(), single_job_log(), empty_failures)
+        outcome = result.outcomes[0]
+        assert outcome.first_start == 0.0
+        assert outcome.finish == pytest.approx(2 * HOUR)
+        assert outcome.checkpoints_skipped == 1
+        assert outcome.checkpoints_performed == 0
+
+    def test_periodic_policy_pays_overhead(self, empty_failures):
+        result = simulate(
+            config(checkpoint_policy="periodic"), single_job_log(), empty_failures
+        )
+        outcome = result.outcomes[0]
+        assert outcome.checkpoints_performed == 1
+        assert outcome.finish == pytest.approx(2 * HOUR + 720.0)
+        # The promise was quoted with the padded runtime: still met.
+        assert outcome.met_deadline
+
+    def test_utilization_matches_definition(self, tiny_jobs, empty_failures):
+        result = simulate(config(), tiny_jobs, empty_failures)
+        m = result.metrics
+        expected = m.total_work / (m.span * 16)
+        assert m.utilization == pytest.approx(expected)
+
+    def test_deterministic_replay(self, tiny_jobs, tiny_failures):
+        a = simulate(config(), tiny_jobs, tiny_failures)
+        b = simulate(config(), tiny_jobs, tiny_failures)
+        assert a.metrics == b.metrics
+        assert a.events_processed == b.events_processed
+
+
+class TestFailureHandling:
+    def test_failure_kills_and_restarts(self):
+        # One 16-node job; node 0 fails mid-run; no checkpoints performed
+        # (a=0 skips them all), so the job restarts from scratch.
+        log = single_job_log(size=16, runtime=2 * HOUR)
+        failures = FailureTrace([FailureEvent(1, HOUR, 0)])
+        result = simulate(config(accuracy=0.0), log, failures)
+        outcome = result.outcomes[0]
+        assert outcome.failures == 1
+        assert outcome.lost_node_seconds == pytest.approx(HOUR * 16)
+        assert outcome.finish is not None
+        # Restarted from zero after downtime: finish >= 1h + 120s + 2h.
+        assert outcome.finish >= 3 * HOUR + 120.0
+        assert not outcome.met_deadline
+
+    def test_checkpoint_bounds_the_loss(self):
+        log = single_job_log(size=16, runtime=2 * HOUR)
+        failures = FailureTrace([FailureEvent(1, 1.5 * HOUR, 0)])
+        result = simulate(
+            config(accuracy=0.0, checkpoint_policy="periodic"), log, failures
+        )
+        outcome = result.outcomes[0]
+        # Periodic checkpoint at 1h of execution: rollback to its start, so
+        # the loss is ~0.5h x 16 nodes, far below the 1.5h full loss.
+        assert outcome.lost_node_seconds == pytest.approx(0.5 * HOUR * 16, rel=0.05)
+        assert outcome.finish < 4.3 * HOUR
+
+    def test_failure_on_idle_node_harmless(self, tiny_jobs):
+        failures = FailureTrace([FailureEvent(1, 1e7, 15)])  # long after drain
+        result = simulate(config(), tiny_jobs, failures)
+        assert result.metrics.failures_hitting_jobs == 0
+        assert result.metrics.lost_work == 0.0
+
+    def test_victim_restarts_from_last_checkpoint(self):
+        # 3h job with periodic checkpoints at 1h and 2h of execution; a
+        # failure at wall 2.5h (execution ~2h19m) rolls back to the 2h mark.
+        log = single_job_log(size=16, runtime=3 * HOUR)
+        failures = FailureTrace([FailureEvent(1, 2.5 * HOUR, 0)])
+        result = simulate(
+            config(accuracy=0.0, checkpoint_policy="periodic"), log, failures
+        )
+        outcome = result.outcomes[0]
+        assert outcome.failures == 1
+        # Total runtime = 3h work + 2-3 overheads + downtime + rework; far
+        # below a from-scratch restart (which would exceed 5.5h).
+        assert outcome.finish < 5.6 * HOUR
+
+    def test_double_failure_single_downtime(self):
+        log = single_job_log(size=16, runtime=HOUR)
+        failures = FailureTrace(
+            [FailureEvent(1, 0.5 * HOUR, 0), FailureEvent(2, 0.5 * HOUR + 60.0, 0)]
+        )
+        result = simulate(config(accuracy=0.0), log, failures)
+        # Second failure hits the node while it is down; job still finishes.
+        assert result.metrics.completed_jobs == 1
+
+    def test_burst_failure_across_nodes(self):
+        log = single_job_log(size=16, runtime=2 * HOUR)
+        failures = FailureTrace(
+            [FailureEvent(i + 1, HOUR + i * 10.0, i) for i in range(4)]
+        )
+        result = simulate(config(accuracy=0.0), log, failures)
+        outcome = result.outcomes[0]
+        # First failure kills the job; the re-run must dodge or absorb the
+        # rest of the burst but eventually completes.
+        assert outcome.finish is not None
+        assert outcome.failures >= 1
+
+
+class TestPredictionEffects:
+    def test_perfect_prediction_with_strict_users_keeps_every_promise(self):
+        log = sdsc_log(seed=3, job_count=60).scaled_sizes(16)
+        failures = FailureTrace(
+            [FailureEvent(i + 1, i * 20 * HOUR, i % 16) for i in range(40)]
+        )
+        result = simulate(
+            config(accuracy=1.0, user_threshold=1.0), log, failures
+        )
+        assert result.metrics.qos == pytest.approx(1.0)
+        assert result.metrics.failures_hitting_jobs == 0
+
+    def test_u_insensitive_when_accuracy_is_zero(self, tiny_jobs, tiny_failures):
+        results = [
+            simulate(config(accuracy=0.0, user_threshold=u), tiny_jobs, tiny_failures)
+            for u in (0.1, 0.5, 0.9)
+        ]
+        assert results[0].metrics == results[1].metrics == results[2].metrics
+
+    def test_fault_aware_placement_avoids_detected_failure(self):
+        # 4-node job on a 16-node cluster; node 0 fails during the window;
+        # with a=1 the scheduler must place the job elsewhere.
+        log = single_job_log(size=4, runtime=2 * HOUR)
+        failures = FailureTrace([FailureEvent(1, HOUR, 0)])
+        result = simulate(config(accuracy=1.0), log, failures)
+        assert result.metrics.failures_hitting_jobs == 0
+        assert result.metrics.lost_work == 0.0
+
+    def test_promised_probability_reflects_prediction(self):
+        # All 16 nodes fail at 1h: an impatient user accepts a risky offer.
+        log = single_job_log(size=16, runtime=2 * HOUR)
+        failures = FailureTrace(
+            [FailureEvent(i + 1, HOUR, i) for i in range(16)]
+        )
+        result = simulate(config(accuracy=1.0, user_threshold=0.0), log, failures)
+        guarantee = result.outcomes[0].guarantee
+        assert guarantee.probability < 1.0
+
+
+class TestConfigurationVariants:
+    def test_opportunistic_start_completes_everything(self, tiny_jobs, tiny_failures):
+        result = simulate(
+            config(opportunistic_start=True), tiny_jobs, tiny_failures
+        )
+        assert result.metrics.completed_jobs == 5
+
+    def test_ring_topology_completes_everything(self, tiny_jobs, empty_failures):
+        result = simulate(config(topology="ring"), tiny_jobs, empty_failures)
+        assert result.metrics.completed_jobs == 5
+
+    def test_oversized_job_rejected(self, empty_failures):
+        log = single_job_log(size=32)
+        with pytest.raises(ValueError, match="clip the log"):
+            simulate(config(), log, empty_failures)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(accuracy=1.5)
+        with pytest.raises(ValueError):
+            SystemConfig(user_threshold=-0.1)
+        with pytest.raises(ValueError):
+            SystemConfig(checkpoint_interval=0.0)
+
+    def test_simulate_matches_system_run(self, tiny_jobs, tiny_failures):
+        direct = ProbabilisticQoSSystem(
+            config(), tiny_jobs, tiny_failures
+        ).run()
+        convenience = simulate(config(), tiny_jobs, tiny_failures)
+        assert direct.metrics == convenience.metrics
+
+
+class TestRealisticWorkload:
+    def test_medium_sdsc_slice_runs_clean(self):
+        log = sdsc_log(seed=11, job_count=150).scaled_sizes(16)
+        failures = FailureTrace(
+            [FailureEvent(i + 1, i * 9 * HOUR, (i * 5) % 16) for i in range(60)]
+        )
+        result = simulate(config(accuracy=0.7, user_threshold=0.8), log, failures)
+        m = result.metrics
+        assert m.completed_jobs == 150
+        assert 0.0 < m.utilization <= 1.0
+        assert 0.0 <= m.qos <= 1.0
+        # Every job got a guarantee.
+        assert all(o.guarantee is not None for o in result.outcomes)
+
+    def test_span_covers_all_arrivals(self, tiny_jobs, tiny_failures):
+        result = simulate(config(), tiny_jobs, tiny_failures)
+        last_arrival = max(j.arrival_time for j in tiny_jobs)
+        assert result.metrics.span >= last_arrival

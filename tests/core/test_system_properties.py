@@ -1,0 +1,128 @@
+"""Property-based stress tests: invariants over random scenarios.
+
+Hypothesis generates small random workloads and failure traces; every
+simulation — whatever the configuration — must satisfy the structural
+invariants of the model:
+
+* every job completes, exactly once, at or after its arrival;
+* utilization and QoS live in [0, 1]; lost work is non-negative;
+* the work accounted to the metrics equals the log's total work;
+* QoS never exceeds the work-weighted mean promised probability
+  (keeping every promise is the ceiling);
+* replaying the same scenario yields identical metrics (determinism).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.system import SystemConfig, simulate
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.workload.job import Job, JobLog
+
+NODE_COUNT = 8
+HOUR = 3600.0
+
+job_strategy = st.builds(
+    lambda arrival, size, runtime: (arrival, size, runtime),
+    arrival=st.floats(min_value=0.0, max_value=6 * HOUR),
+    size=st.integers(min_value=1, max_value=NODE_COUNT),
+    runtime=st.floats(min_value=60.0, max_value=5 * HOUR),
+)
+
+failure_strategy = st.builds(
+    lambda time, node: (time, node),
+    time=st.floats(min_value=60.0, max_value=60 * HOUR),
+    node=st.integers(min_value=0, max_value=NODE_COUNT - 1),
+)
+
+scenario_strategy = st.fixed_dictionaries(
+    {
+        "jobs": st.lists(job_strategy, min_size=1, max_size=12),
+        "failures": st.lists(failure_strategy, max_size=6),
+        "accuracy": st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+        "user": st.sampled_from([0.0, 0.5, 0.9, 1.0]),
+        "policy": st.sampled_from(["cooperative", "periodic", "never"]),
+        "evacuate": st.booleans(),
+    }
+)
+
+
+def build_scenario(data):
+    jobs = [
+        Job(job_id=i + 1, arrival_time=a, size=s, runtime=r)
+        for i, (a, s, r) in enumerate(data["jobs"])
+    ]
+    failures = [
+        FailureEvent(event_id=i + 1, time=t, node=n)
+        for i, (t, n) in enumerate(data["failures"])
+    ]
+    config = SystemConfig(
+        node_count=NODE_COUNT,
+        checkpoint_interval=1800.0,
+        checkpoint_overhead=300.0,
+        accuracy=data["accuracy"],
+        user_threshold=data["user"],
+        checkpoint_policy=data["policy"],
+        proactive_evacuation=data["evacuate"],
+        seed=11,
+    )
+    return config, JobLog(jobs, name="fuzz"), FailureTrace(failures)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=scenario_strategy)
+def test_structural_invariants(data):
+    config, log, failures = build_scenario(data)
+    result = simulate(config, log, failures)
+    m = result.metrics
+
+    # Completion: every job finishes exactly once.
+    assert m.completed_jobs == m.job_count == len(log)
+    for outcome in result.outcomes:
+        assert outcome.finish is not None
+        assert outcome.first_start is not None
+        assert outcome.first_start >= outcome.job.arrival_time
+        assert outcome.finish > outcome.first_start
+        assert outcome.guarantee is not None
+
+    # Ranges.
+    assert 0.0 <= m.qos <= 1.0 + 1e-9
+    assert 0.0 <= m.utilization <= 1.0 + 1e-9
+    assert m.lost_work >= 0.0
+    assert m.total_work == pytest.approx(sum(j.work for j in log))
+
+    # The promise ceiling: QoS cannot beat keeping every promise.
+    weighted_ceiling = (
+        sum(o.job.work * o.guarantee.probability for o in result.outcomes)
+        / m.total_work
+    )
+    assert m.qos <= weighted_ceiling + 1e-9
+
+    # Failure accounting is consistent.
+    assert m.failures_hitting_jobs == sum(o.failures for o in result.outcomes)
+    assert m.lost_work == pytest.approx(
+        sum(o.lost_node_seconds for o in result.outcomes)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=scenario_strategy)
+def test_determinism_under_fuzzing(data):
+    config, log, failures = build_scenario(data)
+    first = simulate(config, log, failures)
+    second = simulate(config, log, failures)
+    assert first.metrics == second.metrics
+    assert first.events_processed == second.events_processed
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=scenario_strategy)
+def test_failure_free_runs_keep_all_promises(data):
+    config, log, _ = build_scenario(data)
+    result = simulate(config, log, FailureTrace([]))
+    m = result.metrics
+    assert m.deadlines_met == m.job_count
+    assert m.lost_work == 0.0
+    assert m.qos == pytest.approx(1.0)  # all promises at p=1 and kept

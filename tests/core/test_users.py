@@ -1,0 +1,69 @@
+"""Unit tests for the user risk-strategy models (Equation 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.guarantee import DeadlineOffer
+from repro.core.users import (
+    EarliestDeadlineUser,
+    RiskThresholdUser,
+    SlackBoundedUser,
+)
+
+
+def offer(probability, start=0.0):
+    return DeadlineOffer(
+        start=start,
+        nodes=(0,),
+        deadline=start + 100.0,
+        probability=probability,
+        failure_probability=1.0 - probability,
+    )
+
+
+class TestRiskThresholdUser:
+    def test_accepts_at_or_above_threshold(self):
+        user = RiskThresholdUser(0.5)
+        assert user.accepts(offer(0.5))
+        assert user.accepts(offer(0.9))
+
+    def test_declines_below_threshold(self):
+        assert not RiskThresholdUser(0.5).accepts(offer(0.49))
+
+    def test_u_zero_accepts_everything(self):
+        assert RiskThresholdUser(0.0).accepts(offer(0.0))
+
+    def test_u_one_requires_certainty(self):
+        user = RiskThresholdUser(1.0)
+        assert not user.accepts(offer(0.999))
+        assert user.accepts(offer(1.0))
+
+    def test_binding_failure_probability(self):
+        assert RiskThresholdUser(0.7).binding_failure_probability == pytest.approx(0.3)
+
+    def test_threshold_bounds_validated(self):
+        with pytest.raises(ValueError):
+            RiskThresholdUser(1.5)
+
+
+class TestEarliestDeadlineUser:
+    def test_takes_anything(self):
+        user = EarliestDeadlineUser()
+        assert user.accepts(offer(0.0))
+        assert user.accepts(offer(1.0))
+
+
+class TestSlackBoundedUser:
+    def test_accepts_on_probability(self):
+        user = SlackBoundedUser(risk_threshold=0.8, max_slack=3600.0)
+        assert user.accepts(offer(0.85))
+
+    def test_unanchored_user_waits_for_probability(self):
+        user = SlackBoundedUser(risk_threshold=0.8, max_slack=3600.0)
+        assert not user.accepts(offer(0.5, start=10_000.0))
+
+    def test_patience_exhaustion_accepts_risk(self):
+        user = SlackBoundedUser(risk_threshold=0.8, max_slack=3600.0).anchored_at(0.0)
+        assert not user.accepts(offer(0.5, start=1000.0))
+        assert user.accepts(offer(0.5, start=4000.0))

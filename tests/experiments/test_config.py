@@ -1,0 +1,60 @@
+"""Unit tests for experiment configuration and environment overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    BENCH_JOB_COUNT,
+    FULL_JOB_COUNT,
+    HIGHLIGHT_USERS,
+    SWEEP_GRID,
+    ExperimentSetup,
+    bench_job_count,
+    bench_seed,
+    bench_setup,
+)
+
+
+class TestConstants:
+    def test_sweep_grid_matches_paper(self):
+        # 0 to 1 in increments of 0.1 (Section 4.4).
+        assert SWEEP_GRID == [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+    def test_highlighted_users(self):
+        assert HIGHLIGHT_USERS == [0.1, 0.5, 0.9]
+
+    def test_full_size_is_papers(self):
+        assert FULL_JOB_COUNT == 10_000
+
+
+class TestEnvironmentOverrides:
+    def test_default_bench_size(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        assert bench_job_count() == BENCH_JOB_COUNT
+
+    def test_full_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert bench_job_count() == FULL_JOB_COUNT
+
+    def test_explicit_job_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "333")
+        assert bench_job_count() == 333
+
+    def test_explicit_default_parameter(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        assert bench_job_count(default=77) == 77
+
+    def test_seed_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "99")
+        assert bench_seed() == 99
+
+    def test_bench_setup_combines(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "123")
+        monkeypatch.setenv("REPRO_SEED", "5")
+        setup = bench_setup("nasa")
+        assert setup == ExperimentSetup(workload="nasa", job_count=123, seed=5)

@@ -1,0 +1,80 @@
+"""Unit tests for figure regeneration (tiny logs, structural checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.figures import FigureCatalog
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    sdsc = ExperimentContext.prepare(
+        ExperimentSetup(workload="sdsc", job_count=60, seed=5)
+    )
+    nasa = ExperimentContext.prepare(
+        ExperimentSetup(workload="nasa", job_count=60, seed=5)
+    )
+    return FigureCatalog(sdsc=sdsc, nasa=nasa)
+
+
+class TestAccuracyFigures:
+    def test_figure_1_structure(self, catalog):
+        figure = catalog.figure(1)
+        assert figure.workload == "sdsc"
+        assert [s.label for s in figure.series] == ["U=0.1", "U=0.5", "U=0.9"]
+        assert all(len(s.points) == 11 for s in figure.series)
+        assert figure.series[0].xs == pytest.approx(
+            [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        )
+
+    def test_qos_values_in_unit_interval(self, catalog):
+        for s in catalog.figure(1).series:
+            assert all(0.0 <= y <= 1.0 for y in s.ys)
+
+    def test_figure_2_uses_nasa(self, catalog):
+        assert catalog.figure(2).workload == "nasa"
+
+    def test_lost_work_nonnegative(self, catalog):
+        for s in catalog.figure(5).series:
+            assert all(y >= 0.0 for y in s.ys)
+
+
+class TestUserFigures:
+    def test_figure_7_at_half_accuracy(self, catalog):
+        figure = catalog.figure(7)
+        assert figure.series[0].label == "a=0.5"
+        assert len(figure.series[0].points) == 11
+
+    def test_figure_8_overlays_both_logs(self, catalog):
+        figure = catalog.figure(8)
+        assert {s.label for s in figure.series} == {"SDSC", "NASA"}
+
+    def test_series_by_label(self, catalog):
+        figure = catalog.figure(8)
+        assert figure.series_by_label("NASA").label == "NASA"
+        with pytest.raises(KeyError):
+            figure.series_by_label("CRAY")
+
+
+class TestCatalog:
+    def test_dispatch_covers_all_figures(self, catalog):
+        for figure_id in range(1, 13):
+            assert catalog.figure(figure_id).figure_id == figure_id
+
+    def test_unknown_figure_rejected(self, catalog):
+        with pytest.raises(KeyError, match="figures 1-12"):
+            catalog.figure(13)
+
+    def test_headline_comparison_keys(self, catalog):
+        comparison = catalog.headline_comparison("sdsc")
+        assert set(comparison) == {"qos", "utilization", "lost_work"}
+
+    def test_sweep_points_shared_across_figures(self, catalog):
+        ctx = catalog.context("sdsc")
+        before = ctx.cached_points
+        catalog.figure(1)
+        catalog.figure(3)  # same grid, different metric: no new points
+        assert ctx.cached_points == max(before, 33)

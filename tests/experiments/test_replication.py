@@ -1,0 +1,85 @@
+"""Unit tests for multi-seed replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.replication import (
+    ReplicatedExperiment,
+    ReplicatedMetric,
+    _summarise,
+    significant_improvement,
+)
+
+
+class TestSummaries:
+    def test_single_value(self):
+        summary = _summarise("qos", [0.9])
+        assert summary.mean == 0.9
+        assert summary.std == 0.0
+        assert summary.ci95_halfwidth == 0.0
+
+    def test_known_sample(self):
+        summary = _summarise("qos", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        # t(df=2, 95%) = 4.303; hw = 4.303 * 1/sqrt(3).
+        assert summary.ci95_halfwidth == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+
+    def test_interval_brackets_mean(self):
+        summary = _summarise("x", [5.0, 6.0, 7.0, 8.0])
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+
+class TestSignificance:
+    def make(self, mean, hw):
+        return ReplicatedMetric("m", (), mean, 0.0, hw)
+
+    def test_clear_separation(self):
+        base = self.make(0.5, 0.05)
+        better = self.make(0.8, 0.05)
+        assert significant_improvement(base, better)
+
+    def test_overlap_is_not_significant(self):
+        base = self.make(0.5, 0.2)
+        better = self.make(0.6, 0.2)
+        assert not significant_improvement(base, better)
+
+    def test_smaller_is_better_direction(self):
+        base = self.make(100.0, 5.0)
+        lower = self.make(50.0, 5.0)
+        assert significant_improvement(base, lower, larger_is_better=False)
+        assert not significant_improvement(base, lower, larger_is_better=True)
+
+
+class TestReplicatedExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        # Large enough that failures actually hit jobs in each replication.
+        return ReplicatedExperiment("sdsc", job_count=300, seeds=[1, 2, 3])
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            ReplicatedExperiment("sdsc", job_count=10, seeds=[])
+
+    def test_point_summaries_all_metrics(self, experiment):
+        summaries = experiment.run_point(0.5, 0.5)
+        assert set(summaries) == {"qos", "utilization", "lost_work"}
+        for summary in summaries.values():
+            assert len(summary.values) == 3
+
+    def test_seeds_produce_different_draws(self, experiment):
+        summaries = experiment.run_point(0.5, 0.5)
+        assert len(set(summaries["utilization"].values)) > 1
+
+    def test_trend_shape(self, experiment):
+        trend = experiment.trend("qos", [0.0, 1.0], user_threshold=0.9)
+        assert len(trend) == 2
+        # Replicated means preserve the headline direction.
+        assert trend[1].mean >= trend[0].mean - 0.02
+
+    def test_lost_work_direction_replicated(self, experiment):
+        baseline = experiment.run_point(0.0, 0.9)["lost_work"]
+        perfect = experiment.run_point(1.0, 0.9)["lost_work"]
+        assert baseline.mean > 0.0, "expected some losses at this scale"
+        assert perfect.mean < baseline.mean

@@ -1,0 +1,63 @@
+"""Unit tests for the one-call evaluation report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.figures import FigureCatalog
+from repro.experiments.report import generate_report
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def small_catalog():
+    return FigureCatalog(
+        sdsc=ExperimentContext.prepare(
+            ExperimentSetup(workload="sdsc", job_count=50, seed=5)
+        ),
+        nasa=ExperimentContext.prepare(
+            ExperimentSetup(workload="nasa", job_count=50, seed=5)
+        ),
+    )
+
+
+class TestGenerateReport:
+    def test_selected_figures_only(self, small_catalog):
+        report = generate_report(
+            job_count=50, seed=5, figures=[7, 8], catalog=small_catalog
+        )
+        assert "Figure 7" in report
+        assert "Figure 8" in report
+        assert "Figure 1:" not in report
+
+    def test_contains_tables_and_headline(self, small_catalog):
+        report = generate_report(
+            job_count=50, seed=5, figures=[], catalog=small_catalog
+        )
+        assert "Table 1" in report
+        assert "Table 2" in report
+        assert "Headline comparison" in report
+
+    def test_contains_honesty_audit(self, small_catalog):
+        report = generate_report(
+            job_count=50, seed=5, figures=[], catalog=small_catalog
+        )
+        assert "Promise honesty" in report
+        assert "brier=" in report
+
+    def test_reports_parameters(self, small_catalog):
+        report = generate_report(
+            job_count=50, seed=5, figures=[], catalog=small_catalog
+        )
+        assert "jobs per log: 50" in report
+        assert "seed: 5" in report
+
+    def test_cli_report_command(self, capsys):
+        from repro.cli import main
+
+        code = main(["report", "--jobs", "40", "--seed", "5", "--figures", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probqos evaluation report" in out
+        assert "Figure 7" in out

@@ -1,0 +1,99 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.reporting import (
+    format_figure,
+    format_headline,
+    format_pairs,
+    format_table1,
+    sparkline,
+)
+from repro.experiments.sweeps import Series
+from repro.experiments.tables import Table1Row
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_series_rises(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0, 4.0])) == 4
+
+
+class TestFormatFigure:
+    def figure(self):
+        return FigureResult(
+            figure_id=1,
+            title="QoS vs accuracy",
+            x_label="a",
+            y_label="QoS",
+            workload="sdsc",
+            series=(
+                Series(label="U=0.1", points=((0.0, 0.9), (1.0, 0.95))),
+                Series(label="U=0.9", points=((0.0, 0.92), (1.0, 0.99))),
+            ),
+        )
+
+    def test_header_and_rows(self):
+        text = format_figure(self.figure())
+        assert "Figure 1: QoS vs accuracy" in text
+        assert "U=0.1" in text and "U=0.9" in text
+        assert "0.9900" in text
+
+    def test_sparklines_included(self):
+        text = format_figure(self.figure())
+        assert "shape" in text
+
+    def test_large_values_scientific(self):
+        figure = FigureResult(
+            figure_id=5,
+            title="lost",
+            x_label="a",
+            y_label="work",
+            workload="sdsc",
+            series=(Series(label="U", points=((0.0, 4.5e7),)),),
+        )
+        assert "4.500e+07" in format_figure(figure)
+
+
+class TestOtherFormatters:
+    def test_format_table1(self):
+        row = Table1Row(
+            log_name="NASA",
+            job_count=100,
+            avg_nodes=6.1,
+            avg_runtime=390.0,
+            max_runtime_hours=11.5,
+            paper_avg_nodes=6.3,
+            paper_avg_runtime=381.0,
+            paper_max_runtime_hours=12.0,
+        )
+        text = format_table1([row])
+        assert "NASA" in text
+        assert "6.1" in text and "6.3" in text
+
+    def test_format_pairs_aligns(self):
+        text = format_pairs("Params", [("alpha", "1"), ("b", "2")])
+        assert text.startswith("Params")
+        assert "alpha" in text
+
+    def test_format_headline_reports_factor(self):
+        text = format_headline(
+            {"qos": (0.9, 0.95), "utilization": (0.6, 0.63), "lost_work": (9e6, 1e6)}
+        )
+        assert "x9.0 reduction" in text
+        assert "+5.0 points" in text
+
+    def test_format_headline_zero_lost(self):
+        text = format_headline({"lost_work": (5.0, 0.0)})
+        assert "xinf" in text

@@ -1,0 +1,63 @@
+"""Unit tests for the memoising experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.runner import ExperimentContext, estimate_horizon
+from repro.failures.events import FailureTrace
+from repro.workload.synthetic import nasa_log
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    setup = ExperimentSetup(workload="nasa", job_count=120, seed=5)
+    return ExperimentContext.prepare(setup)
+
+
+class TestPreparation:
+    def test_log_and_trace_synthesised(self, ctx):
+        assert len(ctx.log) == 120
+        assert len(ctx.failures) > 0
+
+    def test_horizon_covers_workload(self, ctx):
+        horizon = estimate_horizon(ctx.log, 128)
+        stats = ctx.log.stats()
+        assert horizon > stats.span
+        assert horizon > stats.total_work / (128 * 0.5)
+
+    def test_explicit_log_is_used(self):
+        log = nasa_log(seed=9, job_count=30)
+        setup = ExperimentSetup(workload="nasa", job_count=999, seed=5)
+        ctx = ExperimentContext.prepare(setup, log=log)
+        assert len(ctx.log) == 30
+
+    def test_explicit_failures_are_used(self):
+        setup = ExperimentSetup(workload="nasa", job_count=20, seed=5)
+        ctx = ExperimentContext.prepare(setup, failures=FailureTrace([]))
+        assert len(ctx.failures) == 0
+
+
+class TestMemoisation:
+    def test_repeat_point_is_cached(self, ctx):
+        before = ctx.cached_points
+        first = ctx.run_point(0.5, 0.5)
+        mid = ctx.cached_points
+        second = ctx.run_point(0.5, 0.5)
+        assert mid == before + 1
+        assert ctx.cached_points == mid
+        assert first == second
+
+    def test_overrides_key_the_cache(self, ctx):
+        cooperative = ctx.run_point(0.5, 0.5)
+        periodic = ctx.run_point(0.5, 0.5, checkpoint_policy="periodic")
+        assert ctx.cached_points >= 2
+        assert periodic.checkpoints_performed >= cooperative.checkpoints_performed
+
+    def test_config_reflects_setup(self, ctx):
+        config = ctx.config(0.3, 0.7)
+        assert config.accuracy == 0.3
+        assert config.user_threshold == 0.7
+        assert config.node_count == 128
+        assert config.checkpoint_overhead == 720.0

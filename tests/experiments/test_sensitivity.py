@@ -1,0 +1,71 @@
+"""Unit tests for the sensitivity sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    optimal_interval,
+    sweep_checkpoint_interval,
+    sweep_checkpoint_overhead,
+    sweep_failure_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    setup = ExperimentSetup(workload="sdsc", job_count=70, seed=5)
+    return ExperimentContext.prepare(setup)
+
+
+class TestIntervalSweep:
+    def test_one_point_per_interval(self, ctx):
+        points = sweep_checkpoint_interval(ctx, [1800.0, 3600.0, 7200.0])
+        assert [p.value for p in points] == [1800.0, 3600.0, 7200.0]
+
+    def test_small_interval_pays_more_overhead(self, ctx):
+        points = sweep_checkpoint_interval(ctx, [900.0, 14400.0])
+        dense, sparse = points
+        assert (
+            dense.metrics.checkpoint_overhead
+            > sparse.metrics.checkpoint_overhead
+        )
+
+    def test_optimal_interval_helper(self, ctx):
+        points = sweep_checkpoint_interval(ctx, [900.0, 3600.0, 14400.0])
+        best = optimal_interval(points)
+        assert best in points
+        assert best.metrics.utilization == max(
+            p.metrics.utilization for p in points
+        )
+
+    def test_optimal_interval_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_interval([])
+
+
+class TestOverheadSweep:
+    def test_zero_overhead_is_free(self, ctx):
+        points = sweep_checkpoint_overhead(ctx, [0.0, 1440.0])
+        free, costly = points
+        assert free.metrics.checkpoint_overhead == 0.0
+        assert free.metrics.utilization >= costly.metrics.utilization - 0.02
+
+
+class TestFailureRateSweep:
+    def test_higher_rate_loses_more_work(self, ctx):
+        points = sweep_failure_rate(ctx, [0.5, 8.0])
+        calm, stormy = points
+        assert stormy.metrics.lost_work >= calm.metrics.lost_work
+        assert (
+            stormy.metrics.failures_hitting_jobs
+            >= calm.metrics.failures_hitting_jobs
+        )
+
+    def test_zero_rate_is_failure_free(self, ctx):
+        (point,) = sweep_failure_rate(ctx, [0.0])
+        assert point.metrics.lost_work == 0.0
+        assert point.metrics.failures_hitting_jobs == 0

@@ -1,0 +1,71 @@
+"""Unit tests for parameter sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.sweeps import (
+    METRIC_EXTRACTORS,
+    Series,
+    accuracy_sweep,
+    endpoint_comparison,
+    user_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    setup = ExperimentSetup(workload="sdsc", job_count=80, seed=5)
+    return ExperimentContext.prepare(setup)
+
+
+class TestSeries:
+    def test_xs_and_ys(self):
+        series = Series(label="x", points=((0.0, 1.0), (0.5, 2.0)))
+        assert series.xs == [0.0, 0.5]
+        assert series.ys == [1.0, 2.0]
+
+
+class TestAccuracySweep:
+    def test_one_series_per_user(self, ctx):
+        series = accuracy_sweep(
+            ctx, "qos", user_thresholds=[0.1, 0.9], accuracies=[0.0, 1.0]
+        )
+        assert [s.label for s in series] == ["U=0.1", "U=0.9"]
+        assert all(len(s.points) == 2 for s in series)
+
+    def test_x_values_are_the_accuracies(self, ctx):
+        series = accuracy_sweep(ctx, "utilization", [0.5], accuracies=[0.0, 0.5])
+        assert series[0].xs == [0.0, 0.5]
+
+    def test_unknown_metric_rejected(self, ctx):
+        with pytest.raises(KeyError):
+            accuracy_sweep(ctx, "latency", [0.5])
+
+
+class TestUserSweep:
+    def test_points_follow_grid(self, ctx):
+        series = user_sweep(ctx, "qos", accuracy=1.0, user_thresholds=[0.0, 1.0])
+        assert series.label == "a=1"
+        assert series.xs == [0.0, 1.0]
+
+    def test_metrics_extractors_cover_paper_metrics(self):
+        assert set(METRIC_EXTRACTORS) == {"qos", "utilization", "lost_work"}
+
+
+class TestEndpoints:
+    def test_comparison_returns_all_metrics(self, ctx):
+        comparison = endpoint_comparison(ctx, user_threshold=0.9)
+        assert set(comparison) == {"qos", "utilization", "lost_work"}
+        for baseline, perfect in comparison.values():
+            assert baseline >= 0.0
+            assert perfect >= 0.0
+
+    def test_comparison_uses_cached_points(self, ctx):
+        before = ctx.cached_points
+        endpoint_comparison(ctx, user_threshold=0.9)
+        endpoint_comparison(ctx, user_threshold=0.9)
+        # Only two fresh points at most (a=0 and a=1), even across calls.
+        assert ctx.cached_points <= before + 2

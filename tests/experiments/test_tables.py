@@ -1,0 +1,45 @@
+"""Unit tests for table regeneration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tables import PAPER_TABLE1, table_1, table_2
+from repro.workload.synthetic import nasa_log
+
+
+class TestTable1:
+    def test_rows_for_both_logs(self):
+        rows = table_1(seed=5, job_count=400)
+        assert [r.log_name for r in rows] == ["NASA", "SDSC"]
+
+    def test_paper_reference_attached(self):
+        rows = table_1(seed=5, job_count=200)
+        nasa = rows[0]
+        assert nasa.paper_avg_nodes == PAPER_TABLE1["nasa"]["avg_nodes"]
+        assert nasa.paper_max_runtime_hours == 12.0
+
+    def test_explicit_logs(self):
+        rows = table_1(logs=[nasa_log(seed=5, job_count=50)])
+        assert len(rows) == 1
+        assert rows[0].job_count == 50
+
+    def test_values_are_measured_and_near_paper(self):
+        rows = table_1(seed=5, job_count=400)
+        for row in rows:
+            assert row.job_count == 400
+            assert row.avg_nodes == pytest.approx(row.paper_avg_nodes, rel=0.3)
+            assert row.avg_runtime == pytest.approx(row.paper_avg_runtime, rel=0.3)
+
+
+class TestTable2:
+    def test_contains_all_paper_parameters(self):
+        names = [name for name, _ in table_2()]
+        assert names == ["N (nodes)", "C (s)", "I (s)", "a", "U", "downtime (s)"]
+
+    def test_values_match_paper(self):
+        values = dict(table_2())
+        assert values["N (nodes)"] == "128"
+        assert values["C (s)"] == "720"
+        assert values["I (s)"] == "3600"
+        assert values["downtime (s)"] == "120"

@@ -1,0 +1,60 @@
+"""Unit tests for failure-trace characterisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.analysis import (
+    empirical_hazard_by_gap,
+    hourly_histogram,
+    per_node_counts,
+    summarize_trace,
+)
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.failures.generator import generate_failure_trace
+
+YEAR = 365 * 86400.0
+
+
+class TestSummarize:
+    def test_paper_aggregates_on_synthetic_trace(self):
+        trace = generate_failure_trace(YEAR, seed=7)
+        summary = summarize_trace(trace, nodes=128)
+        assert summary.rate_per_day == pytest.approx(2.8, rel=0.25)
+        assert summary.cluster_mtbf_hours == pytest.approx(8.5, rel=0.3)
+        # Node MTBF around 6.5 weeks (paper's quoted figure).
+        assert summary.node_mtbf_weeks == pytest.approx(6.5, rel=0.35)
+        assert summary.burstiness_cv > 1.0
+        assert summary.top_decile_share > 0.15
+
+    def test_empty_trace(self):
+        summary = summarize_trace(FailureTrace([]), nodes=8)
+        assert summary.event_count == 0
+        assert summary.cluster_mtbf_hours is None
+        assert summary.node_mtbf_weeks is None
+
+    def test_nodes_default_from_trace(self, tiny_failures):
+        summary = summarize_trace(tiny_failures)
+        assert summary.event_count == 3
+
+
+class TestHelpers:
+    def test_per_node_counts(self, tiny_failures):
+        assert per_node_counts(tiny_failures) == {0: 1, 3: 1, 4: 1}
+
+    def test_hourly_histogram_buckets(self, tiny_failures):
+        histogram = hourly_histogram(tiny_failures)
+        assert len(histogram) == 24
+        assert sum(histogram) == 3
+        assert histogram[2] == 1  # failure at t = 2h
+        assert histogram[5] == 2  # burst pair at t ~ 5h
+
+    def test_empirical_hazard_sums_to_one(self, tiny_failures):
+        fractions = empirical_hazard_by_gap(
+            tiny_failures, [0.0, 3600.0, 4 * 3600.0, 1e9]
+        )
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_empirical_hazard_empty_trace(self):
+        fractions = empirical_hazard_by_gap(FailureTrace([]), [0.0, 1.0, 2.0])
+        assert fractions == [0.0, 0.0]

@@ -1,0 +1,110 @@
+"""Unit tests for failure events and the trace container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.events import FailureEvent, FailureTrace, RawEvent, Severity
+
+
+def ev(event_id, time, node, subsystem="memory"):
+    return FailureEvent(event_id=event_id, time=time, node=node, subsystem=subsystem)
+
+
+class TestSeverity:
+    def test_criticality_threshold(self):
+        assert Severity.FATAL.is_critical
+        assert Severity.FAILURE.is_critical
+        assert not Severity.ERROR.is_critical
+        assert not Severity.INFO.is_critical
+
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR < Severity.FATAL
+
+
+class TestFailureTrace:
+    def test_events_sorted_by_time(self):
+        trace = FailureTrace([ev(1, 50.0, 0), ev(2, 10.0, 1)])
+        assert [e.event_id for e in trace] == [2, 1]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FailureTrace([ev(1, 1.0, 0), ev(1, 2.0, 1)])
+
+    def test_len_iteration_indexing(self, tiny_failures):
+        assert len(tiny_failures) == 3
+        assert tiny_failures[0].node == 0
+        assert [e.event_id for e in tiny_failures] == [1, 2, 3]
+
+    def test_nodes_property(self, tiny_failures):
+        assert tiny_failures.nodes == [0, 3, 4]
+
+    def test_span(self, tiny_failures):
+        assert tiny_failures.span == pytest.approx(3.1 * 3600.0)
+
+    def test_span_of_small_traces(self):
+        assert FailureTrace([]).span == 0.0
+        assert FailureTrace([ev(1, 5.0, 0)]).span == 0.0
+
+    def test_for_node(self, tiny_failures):
+        assert [e.event_id for e in tiny_failures.for_node(3)] == [2]
+        assert tiny_failures.for_node(99) == []
+
+
+class TestWindowQueries:
+    def test_in_window_filters_nodes_and_time(self, tiny_failures):
+        hits = tiny_failures.in_window([0, 3], 0.0, 6 * 3600.0)
+        assert [e.event_id for e in hits] == [1, 2]
+
+    def test_in_window_is_half_open(self, tiny_failures):
+        # Event exactly at the end boundary is excluded; at start included.
+        assert tiny_failures.in_window([0], 2 * 3600.0, 2 * 3600.0 + 1) != []
+        assert tiny_failures.in_window([0], 0.0, 2 * 3600.0) == []
+
+    def test_in_window_sorted_across_nodes(self, tiny_failures):
+        hits = tiny_failures.in_window([4, 3, 0], 0.0, 1e9)
+        times = [e.time for e in hits]
+        assert times == sorted(times)
+
+    def test_in_window_invalid_bounds(self, tiny_failures):
+        with pytest.raises(ValueError):
+            tiny_failures.in_window([0], 10.0, 5.0)
+
+    def test_after(self, tiny_failures):
+        assert [e.event_id for e in tiny_failures.after(5 * 3600.0)] == [2, 3]
+
+    def test_after_boundary_inclusive(self, tiny_failures):
+        assert tiny_failures.after(2 * 3600.0)[0].event_id == 1
+
+
+class TestDerivedTraces:
+    def test_truncate(self, tiny_failures):
+        short = tiny_failures.truncate(5 * 3600.0)
+        assert [e.event_id for e in short] == [1]
+
+    def test_restrict_nodes(self, tiny_failures):
+        narrow = tiny_failures.restrict_nodes(4)
+        assert [e.node for e in narrow] == [0, 3]
+
+    def test_interarrival_times(self, tiny_failures):
+        gaps = tiny_failures.interarrival_times()
+        assert len(gaps) == 2
+        assert gaps[0] == pytest.approx(3 * 3600.0)
+
+    def test_mtbf(self, tiny_failures):
+        assert tiny_failures.mtbf() == pytest.approx((3 * 3600 + 0.1 * 3600) / 2)
+
+    def test_mtbf_empty(self):
+        assert FailureTrace([]).mtbf() is None
+
+
+class TestRawEvent:
+    def test_frozen_record(self):
+        record = RawEvent(time=1.0, node=2, severity=Severity.WARNING)
+        with pytest.raises(AttributeError):
+            record.time = 2.0
+
+    def test_defaults(self):
+        record = RawEvent(time=1.0, node=2, severity=Severity.INFO)
+        assert record.root_cause == -1
+        assert record.subsystem == "unknown"

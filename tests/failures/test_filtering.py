@@ -1,0 +1,133 @@
+"""Unit tests for the raw-log filtration pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.events import FailureEvent, FailureTrace, RawEvent, Severity
+from repro.failures.filtering import (
+    FilterSpec,
+    evaluate_filtering,
+    filter_raw_log,
+)
+from repro.failures.generator import generate_failure_trace, generate_raw_log
+
+
+def raw(time, node, severity=Severity.FATAL, message_id=0):
+    return RawEvent(time=time, node=node, severity=severity, message_id=message_id)
+
+
+class TestSeverityFiltering:
+    def test_low_severity_dropped(self):
+        records = [
+            raw(10.0, 0, Severity.INFO),
+            raw(20.0, 0, Severity.WARNING),
+            raw(30.0, 0, Severity.ERROR),
+        ]
+        assert len(filter_raw_log(records)) == 0
+
+    def test_critical_retained(self):
+        records = [raw(10.0, 0, Severity.FATAL), raw(9000.0, 1, Severity.FAILURE)]
+        assert len(filter_raw_log(records)) == 2
+
+
+class TestTemporalCollapsing:
+    def test_same_node_cluster_collapses_to_one(self):
+        records = [raw(0.0, 0), raw(100.0, 0), raw(200.0, 0)]
+        trace = filter_raw_log(records)
+        assert len(trace) == 1
+        assert trace[0].time == 0.0
+
+    def test_gap_larger_than_threshold_splits(self):
+        records = [raw(0.0, 0), raw(5000.0, 0)]
+        trace = filter_raw_log(records, FilterSpec(temporal_gap=1200.0))
+        assert len(trace) == 2
+
+    def test_sliding_cluster_keeps_extending(self):
+        # Each record within the gap of the previous: one long cluster.
+        records = [raw(1000.0 * k, 0) for k in range(5)]
+        trace = filter_raw_log(records, FilterSpec(temporal_gap=1200.0))
+        assert len(trace) == 1
+
+    def test_different_nodes_do_not_collapse_temporally(self):
+        records = [raw(0.0, 0, message_id=1), raw(100.0, 1, message_id=2)]
+        trace = filter_raw_log(records, FilterSpec(spatial_gap=0.0))
+        assert len(trace) == 2
+
+
+class TestSpatialCollapsing:
+    def test_same_template_across_nodes_collapses(self):
+        records = [raw(0.0, 0, message_id=7), raw(10.0, 1, message_id=7)]
+        trace = filter_raw_log(records, FilterSpec(spatial_gap=60.0))
+        assert len(trace) == 1
+
+    def test_spatial_disabled(self):
+        records = [raw(0.0, 0, message_id=7), raw(10.0, 1, message_id=7)]
+        trace = filter_raw_log(records, FilterSpec(spatial_gap=0.0))
+        assert len(trace) == 2
+
+    def test_distinct_templates_not_merged(self):
+        records = [raw(0.0, 0, message_id=7), raw(10.0, 1, message_id=8)]
+        trace = filter_raw_log(records)
+        assert len(trace) == 2
+
+
+class TestEndToEndQuality:
+    def test_synthetic_pipeline_recovers_truth(self):
+        truth = generate_failure_trace(60 * 86400.0, seed=6)
+        records = generate_raw_log(truth, 60 * 86400.0, seed=6)
+        recovered = filter_raw_log(records)
+        quality = evaluate_filtering(truth, recovered)
+        assert quality.recall >= 0.9
+        assert quality.precision >= 0.9
+
+    def test_event_ids_sequential(self):
+        records = [raw(0.0, 0), raw(9000.0, 1)]
+        trace = filter_raw_log(records)
+        assert [e.event_id for e in trace] == [1, 2]
+
+
+class TestEvaluation:
+    def test_perfect_match(self):
+        truth = FailureTrace([FailureEvent(1, 100.0, 0)])
+        quality = evaluate_filtering(truth, truth)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+
+    def test_miss_counts_against_recall(self):
+        truth = FailureTrace(
+            [FailureEvent(1, 100.0, 0), FailureEvent(2, 90000.0, 1)]
+        )
+        partial = FailureTrace([FailureEvent(1, 100.0, 0)])
+        quality = evaluate_filtering(truth, partial)
+        assert quality.recall == 0.5
+        assert quality.precision == 1.0
+
+    def test_spurious_counts_against_precision(self):
+        truth = FailureTrace([FailureEvent(1, 100.0, 0)])
+        noisy = FailureTrace(
+            [FailureEvent(1, 100.0, 0), FailureEvent(2, 90000.0, 5)]
+        )
+        quality = evaluate_filtering(truth, noisy)
+        assert quality.precision == 0.5
+        assert quality.recall == 1.0
+
+    def test_wrong_node_not_matched(self):
+        truth = FailureTrace([FailureEvent(1, 100.0, 0)])
+        wrong = FailureTrace([FailureEvent(1, 100.0, 3)])
+        quality = evaluate_filtering(truth, wrong)
+        assert quality.matched == 0
+
+    def test_tolerance_window(self):
+        truth = FailureTrace([FailureEvent(1, 100.0, 0)])
+        late = FailureTrace([FailureEvent(1, 100.0 + 600.0, 0)])
+        strict = evaluate_filtering(truth, late, tolerance=300.0)
+        loose = evaluate_filtering(truth, late, tolerance=1000.0)
+        assert strict.matched == 0
+        assert loose.matched == 1
+
+    def test_empty_traces(self):
+        empty = FailureTrace([])
+        quality = evaluate_filtering(empty, empty)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0

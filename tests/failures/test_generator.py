@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic (AIX-like) failure-trace generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.events import Severity
+from repro.failures.generator import (
+    AIX_SPEC,
+    FailureModelSpec,
+    aix_like_trace,
+    generate_failure_trace,
+    generate_raw_log,
+)
+from repro.failures.models import burstiness_coefficient
+
+YEAR = 365 * 86400.0
+
+
+@pytest.fixture(scope="module")
+def year_trace():
+    return generate_failure_trace(YEAR, seed=3)
+
+
+class TestTraceAggregates:
+    def test_rate_matches_paper(self, year_trace):
+        per_day = len(year_trace) / 365.0
+        assert per_day == pytest.approx(AIX_SPEC.rate_per_day, rel=0.2)
+
+    def test_cluster_mtbf_ballpark(self, year_trace):
+        # Paper: ~8.5 hours cluster-wide.
+        assert year_trace.mtbf() / 3600.0 == pytest.approx(8.5, rel=0.3)
+
+    def test_bursty(self, year_trace):
+        assert burstiness_coefficient(year_trace) > 1.05
+
+    def test_nodes_within_cluster(self, year_trace):
+        assert all(0 <= e.node < 128 for e in year_trace)
+
+    def test_times_within_duration(self, year_trace):
+        assert all(0 <= e.time < YEAR for e in year_trace)
+
+    def test_spatial_skew_present(self, year_trace):
+        counts = {}
+        for e in year_trace:
+            counts[e.node] = counts.get(e.node, 0) + 1
+        top = sorted(counts.values(), reverse=True)[:13]  # worst 10% of 128
+        assert sum(top) > 0.2 * len(year_trace)
+
+    def test_homogeneous_spec_flattens_skew(self):
+        spec = FailureModelSpec(node_skew_sigma=0.0)
+        trace = generate_failure_trace(YEAR, spec=spec, seed=3)
+        counts = {}
+        for e in trace:
+            counts[e.node] = counts.get(e.node, 0) + 1
+        top = sorted(counts.values(), reverse=True)[:13]
+        assert sum(top) < 0.35 * len(trace)
+
+    def test_deterministic_per_seed(self):
+        a = generate_failure_trace(30 * 86400.0, seed=5)
+        b = generate_failure_trace(30 * 86400.0, seed=5)
+        assert [(e.time, e.node) for e in a] == [(e.time, e.node) for e in b]
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            generate_failure_trace(0.0)
+
+    def test_aix_like_trace_convenience(self):
+        trace = aix_like_trace(30 * 86400.0, seed=1, nodes=64)
+        assert all(e.node < 64 for e in trace)
+
+
+class TestRawLog:
+    @pytest.fixture(scope="class")
+    def raw(self):
+        trace = generate_failure_trace(30 * 86400.0, seed=4)
+        return trace, generate_raw_log(trace, 30 * 86400.0, seed=4)
+
+    def test_sorted_by_time(self, raw):
+        _, records = raw
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_every_failure_has_a_critical_record(self, raw):
+        trace, records = raw
+        criticals = {
+            (r.root_cause)
+            for r in records
+            if r.severity >= Severity.FATAL and r.root_cause > 0
+        }
+        assert criticals == {e.event_id for e in trace}
+
+    def test_some_failures_have_precursors(self, raw):
+        trace, records = raw
+        with_precursors = {
+            r.root_cause
+            for r in records
+            if r.severity in (Severity.WARNING, Severity.ERROR) and r.root_cause > 0
+        }
+        # precursor_fraction defaults to 0.7: most but not all.
+        assert 0.4 * len(trace) <= len(with_precursors) <= len(trace)
+
+    def test_precursors_precede_their_failure(self, raw):
+        trace, records = raw
+        failure_times = {e.event_id: e.time for e in trace}
+        for r in records:
+            if r.root_cause > 0 and r.severity in (Severity.WARNING, Severity.ERROR):
+                assert r.time < failure_times[r.root_cause]
+
+    def test_noise_records_present(self, raw):
+        _, records = raw
+        assert any(r.root_cause == -1 for r in records)

@@ -1,0 +1,68 @@
+"""Unit tests for the renewal-process failure baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.failures.models import (
+    RenewalSpec,
+    burstiness_coefficient,
+    generate_renewal_trace,
+)
+
+YEAR = 365 * 86400.0
+
+
+class TestRenewalGeneration:
+    def test_rate_matches_spec(self):
+        trace = generate_renewal_trace(YEAR, RenewalSpec(rate_per_day=2.8), seed=1)
+        assert len(trace) / 365.0 == pytest.approx(2.8, rel=0.15)
+
+    def test_exponential_named(self):
+        trace = generate_renewal_trace(YEAR, RenewalSpec(shape=1.0), seed=1)
+        assert trace.name == "renewal-exp"
+
+    def test_weibull_named(self):
+        trace = generate_renewal_trace(YEAR, RenewalSpec(shape=0.7), seed=1)
+        assert trace.name == "renewal-weibull"
+
+    def test_poisson_cv_near_one(self):
+        trace = generate_renewal_trace(YEAR, RenewalSpec(shape=1.0), seed=1)
+        assert burstiness_coefficient(trace) == pytest.approx(1.0, abs=0.2)
+
+    def test_decreasing_hazard_is_burstier(self):
+        smooth = generate_renewal_trace(YEAR, RenewalSpec(shape=1.0), seed=1)
+        clustered = generate_renewal_trace(YEAR, RenewalSpec(shape=0.5), seed=1)
+        assert burstiness_coefficient(clustered) > burstiness_coefficient(smooth)
+
+    def test_nodes_in_range(self):
+        trace = generate_renewal_trace(YEAR, RenewalSpec(nodes=16), seed=1)
+        assert all(0 <= e.node < 16 for e in trace)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            generate_renewal_trace(YEAR, RenewalSpec(shape=0.0))
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            generate_renewal_trace(-1.0)
+
+    def test_deterministic(self):
+        a = generate_renewal_trace(30 * 86400.0, seed=2)
+        b = generate_renewal_trace(30 * 86400.0, seed=2)
+        assert [(e.time, e.node) for e in a] == [(e.time, e.node) for e in b]
+
+
+class TestBurstinessCoefficient:
+    def test_too_few_events_gives_none(self):
+        assert burstiness_coefficient(FailureTrace([])) is None
+        assert burstiness_coefficient(
+            FailureTrace([FailureEvent(1, 1.0, 0), FailureEvent(2, 2.0, 0)])
+        ) is None
+
+    def test_regular_spacing_has_zero_cv(self):
+        trace = FailureTrace(
+            [FailureEvent(i, 100.0 * i, 0) for i in range(1, 20)]
+        )
+        assert burstiness_coefficient(trace) == pytest.approx(0.0, abs=1e-9)

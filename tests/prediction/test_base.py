@@ -1,0 +1,56 @@
+"""Unit and property tests for the predictor interface helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.prediction.base import NullPredictor, combine_independent
+
+
+class TestNullPredictor:
+    def test_never_predicts(self):
+        predictor = NullPredictor()
+        assert predictor.failure_probability(range(128), 0.0, 1e9) == 0.0
+        assert predictor.predicted_failures(range(128), 0.0, 1e9) == []
+
+    def test_node_convenience(self):
+        assert NullPredictor().node_failure_probability(3, 0.0, 100.0) == 0.0
+
+
+class TestCombineIndependent:
+    def test_empty_is_zero(self):
+        assert combine_independent([]) == 0.0
+
+    def test_single_passthrough(self):
+        assert combine_independent([0.3]) == pytest.approx(0.3)
+
+    def test_two_events(self):
+        assert combine_independent([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_certainty_dominates(self):
+        assert combine_independent([0.2, 1.0, 0.1]) == pytest.approx(1.0)
+
+    def test_out_of_range_inputs_clipped(self):
+        assert combine_independent([-0.5, 1.7]) == pytest.approx(1.0)
+        assert combine_independent([-0.5]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=20))
+    def test_result_in_unit_interval(self, probabilities):
+        result = combine_independent(probabilities)
+        assert 0.0 <= result <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20))
+    def test_at_least_max_component(self, probabilities):
+        # Union probability dominates each component.
+        assert combine_independent(probabilities) >= max(probabilities) - 1e-12
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.99), min_size=1, max_size=10),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_monotone_in_extra_event(self, probabilities, extra):
+        assert (
+            combine_independent(probabilities + [extra])
+            >= combine_independent(probabilities) - 1e-12
+        )

@@ -1,0 +1,128 @@
+"""Unit tests for the health-telemetry substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.events import FailureEvent, FailureTrace, RawEvent, Severity
+from repro.prediction.health import EventWindowIndex, HealthModel
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def thermal_trace():
+    # One thermal failure (power) and one non-thermal (network).
+    return FailureTrace(
+        [
+            FailureEvent(event_id=1, time=10 * HOUR, node=0, subsystem="power"),
+            FailureEvent(event_id=2, time=10 * HOUR, node=1, subsystem="network"),
+        ]
+    )
+
+
+class TestHealthModel:
+    def test_deterministic(self, thermal_trace):
+        a = HealthModel(thermal_trace, seed=1)
+        b = HealthModel(thermal_trace, seed=1)
+        assert a.temperature(0, 5000.0) == b.temperature(0, 5000.0)
+        assert a.load(3, 5000.0) == b.load(3, 5000.0)
+
+    def test_load_in_unit_interval(self, thermal_trace):
+        model = HealthModel(thermal_trace, seed=1)
+        for t in range(0, 86400, 3600):
+            assert 0.0 <= model.load(0, float(t)) <= 1.0
+
+    def test_temperature_plausible(self, thermal_trace):
+        model = HealthModel(thermal_trace, seed=1)
+        temp = model.temperature(5, 4 * HOUR)
+        assert 30.0 < temp < 100.0
+
+    def test_thermal_ramp_before_failure(self, thermal_trace):
+        model = HealthModel(thermal_trace, seed=1)
+        far_before = model.temperature(0, 10 * HOUR - 5 * HOUR)
+        just_before = model.temperature(0, 10 * HOUR - 60.0)
+        assert just_before > far_before + 10.0
+
+    def test_non_thermal_failure_has_no_ramp(self, thermal_trace):
+        model = HealthModel(thermal_trace, seed=1)
+        far = model.temperature(1, 10 * HOUR - 5 * HOUR)
+        near = model.temperature(1, 10 * HOUR - 60.0)
+        assert abs(near - far) < 12.0  # only diurnal/noise movement
+
+    def test_slope_detects_ramp(self, thermal_trace):
+        model = HealthModel(thermal_trace, seed=1)
+        slope = model.temperature_slope(0, 10 * HOUR - 120.0)
+        assert slope > 5.0  # degrees per hour
+
+    def test_slope_flat_on_healthy_node(self, thermal_trace):
+        # Noise and the diurnal load cycle move healthy nodes a few degrees
+        # per hour; the pre-failure ramp (~20 deg/h) stands well clear.
+        model = HealthModel(thermal_trace, seed=1)
+        slopes = [
+            abs(model.temperature_slope(node, t * HOUR))
+            for node in (5, 6, 7)
+            for t in (3.0, 5.0, 8.0)
+        ]
+        assert max(slopes) < 8.0
+        assert sum(slopes) / len(slopes) < 4.0
+
+    def test_series_sampling(self, thermal_trace):
+        model = HealthModel(thermal_trace, seed=1)
+        series = model.temperature_series(0, 0.0, HOUR, step=600.0)
+        assert len(series) == 6
+        assert all(s.node == 0 for s in series)
+
+    def test_series_step_validation(self, thermal_trace):
+        model = HealthModel(thermal_trace, seed=1)
+        with pytest.raises(ValueError):
+            model.temperature_series(0, 0.0, HOUR, step=0.0)
+
+    def test_power_tracks_load(self, thermal_trace):
+        model = HealthModel(thermal_trace, seed=1)
+        sample = model.sample(2, 15 * HOUR)
+        assert sample.power > 100.0
+
+
+class TestEventWindowIndex:
+    def test_counts_weighted_events_in_window(self):
+        records = [
+            RawEvent(time=100.0, node=0, severity=Severity.WARNING),
+            RawEvent(time=200.0, node=0, severity=Severity.ERROR),
+        ]
+        index = EventWindowIndex(records)
+        assert index.score(0, 300.0, window=HOUR) == pytest.approx(1.0 + 2.5)
+
+    def test_info_ignored(self):
+        records = [RawEvent(time=100.0, node=0, severity=Severity.INFO)]
+        assert EventWindowIndex(records).score(0, 200.0) == 0.0
+
+    def test_window_excludes_old_events(self):
+        records = [RawEvent(time=100.0, node=0, severity=Severity.ERROR)]
+        index = EventWindowIndex(records)
+        assert index.score(0, 100.0 + 2 * HOUR, window=HOUR) == 0.0
+
+    def test_future_events_invisible(self):
+        records = [RawEvent(time=500.0, node=0, severity=Severity.ERROR)]
+        assert EventWindowIndex(records).score(0, 400.0) == 0.0
+
+    def test_unknown_node_scores_zero(self):
+        assert EventWindowIndex([]).score(7, 100.0) == 0.0
+
+    def test_failure_record_resets_the_window(self):
+        records = [
+            RawEvent(time=100.0, node=0, severity=Severity.ERROR),
+            RawEvent(time=200.0, node=0, severity=Severity.FAILURE),
+            RawEvent(time=300.0, node=0, severity=Severity.WARNING),
+        ]
+        index = EventWindowIndex(records)
+        # Only the post-failure warning counts afterwards.
+        assert index.score(0, 400.0, window=HOUR) == pytest.approx(1.0)
+
+    def test_score_before_failure_unaffected_by_reset(self):
+        records = [
+            RawEvent(time=100.0, node=0, severity=Severity.ERROR),
+            RawEvent(time=200.0, node=0, severity=Severity.FAILURE),
+        ]
+        index = EventWindowIndex(records)
+        assert index.score(0, 150.0, window=HOUR) == pytest.approx(2.5)

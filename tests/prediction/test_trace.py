@@ -1,0 +1,137 @@
+"""Unit tests for the paper's trace-based predictor (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.prediction.trace import TracePredictor
+
+
+@pytest.fixture
+def trace():
+    return FailureTrace(
+        [
+            FailureEvent(event_id=1, time=100.0, node=0),
+            FailureEvent(event_id=2, time=200.0, node=1),
+            FailureEvent(event_id=3, time=300.0, node=0),
+            FailureEvent(event_id=4, time=400.0, node=2),
+        ]
+    )
+
+
+class TestDetectability:
+    def test_assigned_in_unit_interval(self, trace):
+        predictor = TracePredictor(trace, accuracy=1.0, seed=1)
+        for event in trace:
+            assert 0.0 <= predictor.detectability(event) < 1.0
+
+    def test_stable_across_instances(self, trace):
+        a = TracePredictor(trace, accuracy=0.3, seed=1)
+        b = TracePredictor(trace, accuracy=0.9, seed=1)
+        for event in trace:
+            assert a.detectability(event) == b.detectability(event)
+
+    def test_seed_changes_assignment(self, trace):
+        a = TracePredictor(trace, accuracy=1.0, seed=1)
+        b = TracePredictor(trace, accuracy=1.0, seed=2)
+        assert any(a.detectability(e) != b.detectability(e) for e in trace)
+
+    def test_higher_accuracy_detects_superset(self, trace):
+        low = TracePredictor(trace, accuracy=0.3, seed=1)
+        high = TracePredictor(trace, accuracy=0.9, seed=1)
+        for event in trace:
+            if low.is_detectable(event):
+                assert high.is_detectable(event)
+
+
+class TestQuerySemantics:
+    def test_returns_first_detectable_in_time_order(self, trace):
+        predictor = TracePredictor(trace, accuracy=1.0, seed=1)
+        p = predictor.failure_probability([0, 1, 2], 0.0, 1000.0)
+        first = trace[0]
+        assert p == predictor.detectability(first)
+
+    def test_probability_never_exceeds_accuracy(self, trace):
+        for accuracy in (0.1, 0.4, 0.8):
+            predictor = TracePredictor(trace, accuracy=accuracy, seed=1)
+            p = predictor.failure_probability([0, 1, 2], 0.0, 1000.0)
+            assert p <= accuracy
+
+    def test_zero_accuracy_never_predicts(self, trace):
+        predictor = TracePredictor(trace, accuracy=0.0, seed=1)
+        assert predictor.failure_probability([0, 1, 2], 0.0, 1000.0) == 0.0
+        assert predictor.predicted_failures([0, 1, 2], 0.0, 1000.0) == []
+
+    def test_no_failures_in_window_returns_zero(self, trace):
+        predictor = TracePredictor(trace, accuracy=1.0, seed=1)
+        assert predictor.failure_probability([0, 1, 2], 500.0, 1000.0) == 0.0
+
+    def test_node_filtering(self, trace):
+        predictor = TracePredictor(trace, accuracy=1.0, seed=1)
+        p = predictor.failure_probability([2], 0.0, 1000.0)
+        assert p == predictor.detectability(trace[3])
+
+    def test_empty_window(self, trace):
+        predictor = TracePredictor(trace, accuracy=1.0, seed=1)
+        assert predictor.failure_probability([0], 100.0, 100.0) == 0.0
+        assert predictor.predicted_failures([0], 200.0, 100.0) == []
+
+    def test_predicted_failures_sorted_and_filtered(self, trace):
+        predictor = TracePredictor(trace, accuracy=1.0, seed=1)
+        predictions = predictor.predicted_failures([0, 1, 2], 0.0, 1000.0)
+        assert [p.time for p in predictions] == sorted(p.time for p in predictions)
+        assert len(predictions) == 4
+
+    def test_first_predicted_failure_matches_probability(self, trace):
+        predictor = TracePredictor(trace, accuracy=0.7, seed=1)
+        first = predictor.first_predicted_failure([0, 1, 2], 0.0, 1000.0)
+        p = predictor.failure_probability([0, 1, 2], 0.0, 1000.0)
+        if first is None:
+            assert p == 0.0
+        else:
+            assert p == first.probability
+
+    def test_undetectable_failure_is_skipped_not_blocking(self, trace):
+        # With intermediate accuracy the scan continues past undetectable
+        # failures to the first detectable one.
+        for accuracy in (0.2, 0.5, 0.8):
+            predictor = TracePredictor(trace, accuracy=accuracy, seed=3)
+            p = predictor.failure_probability([0, 1, 2], 0.0, 1000.0)
+            detectable = [
+                e for e in trace if predictor.detectability(e) <= accuracy
+            ]
+            if detectable:
+                assert p == predictor.detectability(detectable[0])
+            else:
+                assert p == 0.0
+
+
+class TestRecallMatchesAccuracy:
+    def test_detected_fraction_tracks_accuracy(self):
+        events = [
+            FailureEvent(event_id=i, time=float(i), node=i % 8)
+            for i in range(1, 2001)
+        ]
+        trace = FailureTrace(events)
+        predictor = TracePredictor(trace, accuracy=0.6, seed=1)
+        detected = sum(1 for e in trace if predictor.is_detectable(e))
+        assert detected / len(trace) == pytest.approx(0.6, abs=0.05)
+
+
+class TestWithAccuracy:
+    def test_shares_detectability(self, trace):
+        base = TracePredictor(trace, accuracy=0.5, seed=1)
+        clone = base.with_accuracy(0.9)
+        assert clone.accuracy == 0.9
+        for event in trace:
+            assert clone.detectability(event) == base.detectability(event)
+
+    def test_validates_range(self, trace):
+        base = TracePredictor(trace, accuracy=0.5, seed=1)
+        with pytest.raises(ValueError):
+            base.with_accuracy(1.5)
+
+    def test_constructor_validates_accuracy(self, trace):
+        with pytest.raises(ValueError):
+            TracePredictor(trace, accuracy=-0.1)

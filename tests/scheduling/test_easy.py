@@ -1,0 +1,105 @@
+"""Integration tests for the EASY backfilling comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import SystemConfig, simulate
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.scheduling.easy import EasyConfig, simulate_easy
+from repro.workload.job import Job, JobLog
+from repro.workload.synthetic import sdsc_log
+
+HOUR = 3600.0
+
+
+class TestBasics:
+    def test_all_jobs_complete_without_failures(self, tiny_jobs, empty_failures):
+        metrics = simulate_easy(EasyConfig(node_count=16), tiny_jobs, empty_failures)
+        assert metrics.completed_jobs == 5
+        assert metrics.lost_work == 0.0
+
+    def test_deterministic(self, tiny_jobs, tiny_failures):
+        a = simulate_easy(EasyConfig(node_count=16), tiny_jobs, tiny_failures)
+        b = simulate_easy(EasyConfig(node_count=16), tiny_jobs, tiny_failures)
+        assert a == b
+
+    def test_oversized_job_rejected(self, empty_failures):
+        log = JobLog([Job(1, 0.0, 32, 100.0)], name="big")
+        with pytest.raises(ValueError):
+            simulate_easy(EasyConfig(node_count=16), log, empty_failures)
+
+    def test_failure_requeues_and_completes(self):
+        log = JobLog([Job(1, 0.0, 16, 2 * HOUR)], name="wide")
+        failures = FailureTrace([FailureEvent(1, HOUR, 0)])
+        metrics = simulate_easy(
+            EasyConfig(node_count=16, checkpointing=False), log, failures
+        )
+        assert metrics.completed_jobs == 1
+        assert metrics.failures_hitting_jobs == 1
+        assert metrics.lost_work == pytest.approx(HOUR * 16)
+
+
+class TestBackfilling:
+    def test_small_job_backfills_past_blocked_head(self):
+        # Job 1 occupies 12 of 16 nodes for 2h; job 2 (8 nodes) must wait;
+        # job 3 (4 nodes, short) backfills immediately under EASY.
+        log = JobLog(
+            [
+                Job(1, 0.0, 12, 2 * HOUR),
+                Job(2, 10.0, 8, HOUR),
+                Job(3, 20.0, 4, 0.5 * HOUR),
+            ],
+            name="backfill",
+        )
+        metrics = simulate_easy(
+            EasyConfig(node_count=16, checkpointing=False),
+            log,
+            FailureTrace([]),
+        )
+        assert metrics.completed_jobs == 3
+        # Job 3 started at its arrival (backfilled), so its wait is ~0.
+        assert metrics.mean_wait < 2 * HOUR / 2
+
+    def test_backfill_never_delays_the_head(self):
+        # A long 10-node job must NOT backfill in front of the 8-node head
+        # when it would push the head's shadow start.
+        log = JobLog(
+            [
+                Job(1, 0.0, 12, HOUR),       # running
+                Job(2, 10.0, 8, HOUR),       # head: starts when job 1 ends
+                Job(3, 20.0, 4, 10 * HOUR),  # would sit on head's nodes
+            ],
+            name="no-delay",
+        )
+        metrics = simulate_easy(
+            EasyConfig(node_count=16, checkpointing=False),
+            log,
+            FailureTrace([]),
+        )
+        # Metrics only carry aggregates; rerun with direct collector access
+        # to read job 2's start time.
+        from repro.scheduling.easy import EasyBackfillSimulator
+
+        sim = EasyBackfillSimulator(
+            EasyConfig(node_count=16, checkpointing=False), log, FailureTrace([])
+        )
+        sim.run()
+        start2 = sim.metrics.outcome(2).first_start
+        assert start2 == pytest.approx(HOUR, abs=1.0)  # not delayed by job 3
+
+
+class TestDisciplineComparison:
+    def test_easy_waits_are_no_worse_than_conservative(self):
+        log = sdsc_log(seed=9, job_count=150).scaled_sizes(32)
+        failures = FailureTrace([])
+        easy = simulate_easy(
+            EasyConfig(node_count=32, checkpointing=True), log, failures
+        )
+        conservative = simulate(
+            SystemConfig(node_count=32, accuracy=0.0, seed=9), log, failures
+        ).metrics
+        assert easy.completed_jobs == conservative.completed_jobs == 150
+        # EASY trades promises for responsiveness: mean wait no worse than
+        # the frozen conservative schedule (generous tolerance for ties).
+        assert easy.mean_wait <= conservative.mean_wait * 1.1 + 60.0

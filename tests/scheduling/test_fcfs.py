@@ -1,0 +1,104 @@
+"""Unit tests for the conservative-backfill scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.cluster.topology import FlatTopology
+from repro.core.users import RiskThresholdUser
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.prediction.trace import TracePredictor
+from repro.scheduling.fcfs import ConservativeBackfillScheduler
+from repro.scheduling.placement import fault_aware_scorer
+
+
+def make_scheduler(node_count=8, failures=None, accuracy=1.0):
+    cluster = Cluster(node_count=node_count)
+    trace = failures or FailureTrace([])
+    predictor = TracePredictor(trace, accuracy=accuracy, seed=1)
+    scheduler = ConservativeBackfillScheduler(
+        cluster.ledger,
+        FlatTopology(node_count),
+        predictor,
+        fault_aware_scorer(predictor),
+    )
+    return scheduler, cluster
+
+
+class TestArrivals:
+    def test_every_arrival_gets_a_reservation(self):
+        scheduler, cluster = make_scheduler()
+        outcome = scheduler.schedule_arrival(
+            1, size=4, padded_runtime=1000.0, now=0.0, user=RiskThresholdUser(0.5)
+        )
+        assert cluster.ledger.get(1) is not None
+        assert outcome.start == 0.0
+        assert len(outcome.nodes) == 4
+
+    def test_fcfs_ordering_under_contention(self):
+        scheduler, cluster = make_scheduler()
+        first = scheduler.schedule_arrival(
+            1, 8, 1000.0, 0.0, RiskThresholdUser(0.0)
+        )
+        second = scheduler.schedule_arrival(
+            2, 8, 1000.0, 0.0, RiskThresholdUser(0.0)
+        )
+        assert first.start == 0.0
+        assert second.start == 1000.0  # waits for the full-width job
+
+    def test_backfill_into_hole(self):
+        scheduler, cluster = make_scheduler()
+        scheduler.schedule_arrival(1, 6, 1000.0, 0.0, RiskThresholdUser(0.0))
+        # A 2-node job fits alongside job 1 immediately.
+        outcome = scheduler.schedule_arrival(
+            2, 2, 500.0, 0.0, RiskThresholdUser(0.0)
+        )
+        assert outcome.start == 0.0
+
+
+class TestRestarts:
+    def test_restart_books_earliest_slot(self):
+        scheduler, cluster = make_scheduler()
+        scheduler.schedule_arrival(1, 6, 1000.0, 0.0, RiskThresholdUser(0.0))
+        booking = scheduler.schedule_restart(9, size=4, padded_remaining=500.0, now=100.0)
+        assert booking.start == 1000.0  # blocked by the 6-node job
+        assert cluster.ledger.get(9).nodes == booking.nodes
+
+    def test_restart_avoids_predicted_failures(self):
+        trace = FailureTrace(
+            [FailureEvent(event_id=1, time=500.0, node=0)]
+        )
+        scheduler, cluster = make_scheduler(failures=trace)
+        booking = scheduler.schedule_restart(9, size=4, padded_remaining=1000.0, now=0.0)
+        assert 0 not in booking.nodes  # the doomed node is dodged
+
+
+class TestPullForward:
+    def test_moves_booking_earlier_when_possible(self):
+        scheduler, cluster = make_scheduler()
+        scheduler.schedule_arrival(1, 8, 1000.0, 0.0, RiskThresholdUser(0.0))
+        later = scheduler.schedule_arrival(2, 4, 500.0, 0.0, RiskThresholdUser(0.0))
+        assert later.start == 1000.0
+        # Job 1 finished early: its booking is gone.
+        cluster.ledger.release(1)
+        improved = scheduler.pull_forward(2, now=200.0)
+        assert improved is not None
+        assert improved.start == 200.0
+        assert cluster.ledger.get(2).start == 200.0
+
+    def test_keeps_booking_when_no_improvement(self):
+        scheduler, cluster = make_scheduler()
+        scheduler.schedule_arrival(1, 8, 1000.0, 0.0, RiskThresholdUser(0.0))
+        scheduler.schedule_arrival(2, 8, 500.0, 0.0, RiskThresholdUser(0.0))
+        assert scheduler.pull_forward(2, now=200.0) is None
+        assert cluster.ledger.get(2).start == 1000.0  # restored intact
+
+    def test_noop_for_started_jobs(self):
+        scheduler, cluster = make_scheduler()
+        scheduler.schedule_arrival(1, 4, 500.0, 0.0, RiskThresholdUser(0.0))
+        assert scheduler.pull_forward(1, now=100.0) is None
+
+    def test_noop_for_unknown_jobs(self):
+        scheduler, _ = make_scheduler()
+        assert scheduler.pull_forward(42, now=0.0) is None

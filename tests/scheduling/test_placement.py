@@ -1,0 +1,60 @@
+"""Unit tests for placement scorers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.events import FailureEvent, FailureTrace
+from repro.prediction.trace import TracePredictor
+from repro.scheduling.placement import (
+    fault_aware_scorer,
+    index_scorer,
+    random_scorer,
+    scorer_by_name,
+)
+
+
+@pytest.fixture
+def predictor():
+    trace = FailureTrace([FailureEvent(event_id=1, time=500.0, node=2)])
+    return TracePredictor(trace, accuracy=1.0, seed=1)
+
+
+class TestFaultAware:
+    def test_doomed_node_scores_higher(self, predictor):
+        scorer = fault_aware_scorer(predictor)
+        assert scorer(2, 0.0, 1000.0) > scorer(1, 0.0, 1000.0)
+
+    def test_safe_window_scores_zero(self, predictor):
+        scorer = fault_aware_scorer(predictor)
+        assert scorer(2, 600.0, 1000.0) == 0.0
+
+
+class TestBaselines:
+    def test_index_scorer_prefers_low_indexes(self):
+        scorer = index_scorer()
+        assert scorer(1, 0.0, 1.0) < scorer(5, 0.0, 1.0)
+
+    def test_random_scorer_deterministic_per_query(self):
+        scorer = random_scorer(seed=4)
+        assert scorer(3, 0.0, 10.0) == scorer(3, 0.0, 10.0)
+
+    def test_random_scorer_varies_with_window(self):
+        scorer = random_scorer(seed=4)
+        values = {scorer(3, 0.0, float(e)) for e in range(1, 30)}
+        assert len(values) > 20
+
+    def test_random_scorer_in_unit_interval(self):
+        scorer = random_scorer(seed=4)
+        assert 0.0 <= scorer(0, 0.0, 1.0) < 1.0
+
+
+class TestFactory:
+    def test_lookup(self, predictor):
+        assert scorer_by_name("fault-aware", predictor)(2, 0.0, 1000.0) > 0
+        assert scorer_by_name("first-fit", predictor)(4, 0.0, 1.0) == 4.0
+        assert 0 <= scorer_by_name("random", predictor, seed=1)(0, 0.0, 1.0) < 1
+
+    def test_unknown_rejected(self, predictor):
+        with pytest.raises(KeyError):
+            scorer_by_name("psychic", predictor)

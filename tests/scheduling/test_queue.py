@@ -1,0 +1,70 @@
+"""Unit tests for the wait-queue bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.queue import PendingStarts, RequeueQueue
+
+
+class TestPendingStarts:
+    def test_add_and_snapshot_order(self):
+        pending = PendingStarts()
+        pending.add(3)
+        pending.add(1)
+        pending.add(2)
+        assert pending.snapshot() == [3, 1, 2]
+
+    def test_add_is_idempotent_and_keeps_position(self):
+        pending = PendingStarts()
+        pending.add(3)
+        pending.add(1)
+        pending.add(3)
+        assert pending.snapshot() == [3, 1]
+
+    def test_remove(self):
+        pending = PendingStarts()
+        pending.add(3)
+        pending.add(1)
+        pending.remove(3)
+        assert pending.snapshot() == [1]
+        assert 3 not in pending
+
+    def test_remove_missing_is_noop(self):
+        pending = PendingStarts()
+        pending.remove(9)
+        assert len(pending) == 0
+
+    def test_contains_and_len(self):
+        pending = PendingStarts()
+        pending.add(5)
+        assert 5 in pending
+        assert len(pending) == 1
+
+
+class TestRequeueQueue:
+    def test_fifo_order(self):
+        queue = RequeueQueue()
+        queue.push(3)
+        queue.push(1)
+        assert queue.pop() == 3
+        assert queue.pop() == 1
+        assert queue.pop() is None
+
+    def test_duplicate_push_rejected(self):
+        queue = RequeueQueue()
+        queue.push(3)
+        with pytest.raises(ValueError):
+            queue.push(3)
+
+    def test_drain(self):
+        queue = RequeueQueue()
+        queue.push(2)
+        queue.push(4)
+        assert queue.drain() == [2, 4]
+        assert len(queue) == 0
+
+    def test_iteration(self):
+        queue = RequeueQueue()
+        queue.push(7)
+        assert list(queue) == [7]

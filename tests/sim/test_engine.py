@@ -1,0 +1,211 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventLoop, SimulationError
+from repro.sim.events import EventKind
+
+
+def make_loop_with_log():
+    loop = EventLoop()
+    log = []
+    for kind in EventKind:
+        loop.register(kind, lambda ev: log.append((ev.time, ev.kind, ev.payload)))
+    return loop, log
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop, log = make_loop_with_log()
+        loop.schedule(5.0, EventKind.WAKEUP)
+        loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(3.0, EventKind.WAKEUP)
+        loop.run()
+        assert [t for t, _, _ in log] == [1.0, 3.0, 5.0]
+
+    def test_now_advances_to_event_time(self):
+        loop, _ = make_loop_with_log()
+        loop.schedule(42.0, EventKind.WAKEUP)
+        loop.run()
+        assert loop.now == 42.0
+
+    def test_schedule_in_uses_relative_delay(self):
+        loop, log = make_loop_with_log()
+        loop.schedule(10.0, EventKind.WAKEUP)
+        loop.register(
+            EventKind.WAKEUP,
+            lambda ev: loop.schedule_in(5.0, EventKind.RECOVERY, node=1)
+            if ev.kind is EventKind.WAKEUP
+            else None,
+        )
+        loop.register(EventKind.RECOVERY, lambda ev: log.append(ev.time))
+        loop.run()
+        assert log == [15.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        loop, _ = make_loop_with_log()
+        loop.schedule(10.0, EventKind.WAKEUP)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule(5.0, EventKind.WAKEUP)
+
+    def test_negative_delay_raises(self):
+        loop, _ = make_loop_with_log()
+        with pytest.raises(SimulationError):
+            loop.schedule_in(-1.0, EventKind.WAKEUP)
+
+    def test_payload_is_delivered(self):
+        loop, log = make_loop_with_log()
+        loop.schedule(1.0, EventKind.FAILURE, node=7, event_id=3)
+        loop.run()
+        assert log[0][2] == {"node": 7, "event_id": 3}
+
+
+class TestTieBreaking:
+    def test_same_time_orders_by_kind_priority(self):
+        loop, log = make_loop_with_log()
+        # Scheduled in "wrong" order on purpose.
+        loop.schedule(1.0, EventKind.START)
+        loop.schedule(1.0, EventKind.FAILURE)
+        loop.schedule(1.0, EventKind.FINISH)
+        loop.schedule(1.0, EventKind.RECOVERY)
+        loop.run()
+        kinds = [k for _, k, _ in log]
+        assert kinds == [
+            EventKind.FINISH,
+            EventKind.RECOVERY,
+            EventKind.FAILURE,
+            EventKind.START,
+        ]
+
+    def test_same_time_same_kind_is_fifo(self):
+        loop, log = make_loop_with_log()
+        for marker in range(5):
+            loop.schedule(1.0, EventKind.WAKEUP, marker=marker)
+        loop.run()
+        assert [p["marker"] for _, _, p in log] == [0, 1, 2, 3, 4]
+
+
+class TestCancellation:
+    def test_cancelled_event_is_not_dispatched(self):
+        loop, log = make_loop_with_log()
+        event = loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(2.0, EventKind.RECOVERY, node=0)
+        event.cancel()
+        loop.run()
+        assert [k for _, k, _ in log] == [EventKind.RECOVERY]
+
+    def test_cancel_during_handler(self):
+        loop = EventLoop()
+        log = []
+        later = {}
+
+        def on_first(ev):
+            later["event"].cancel()
+
+        loop.register(EventKind.WAKEUP, on_first)
+        loop.register(EventKind.RECOVERY, lambda ev: log.append(ev.time))
+        loop.schedule(1.0, EventKind.WAKEUP)
+        later["event"] = loop.schedule(2.0, EventKind.RECOVERY, node=0)
+        loop.run()
+        assert log == []
+
+    def test_cancelled_events_do_not_count_as_pending(self):
+        loop, _ = make_loop_with_log()
+        event = loop.schedule(1.0, EventKind.WAKEUP)
+        assert loop.pending_events == 1
+        event.cancel()
+        assert loop.pending_events == 0
+
+
+class TestRunControl:
+    def test_run_until_stops_the_clock_at_the_horizon(self):
+        loop, log = make_loop_with_log()
+        loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(10.0, EventKind.WAKEUP)
+        dispatched = loop.run(until=5.0)
+        assert dispatched == 1
+        assert loop.now == 5.0
+        assert loop.pending_events == 1
+
+    def test_run_resumes_after_until(self):
+        loop, log = make_loop_with_log()
+        loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(10.0, EventKind.WAKEUP)
+        loop.run(until=5.0)
+        loop.run()
+        assert len(log) == 2
+
+    def test_max_events_bounds_dispatch(self):
+        loop, log = make_loop_with_log()
+        for t in range(10):
+            loop.schedule(float(t), EventKind.WAKEUP)
+        assert loop.run(max_events=3) == 3
+        assert len(log) == 3
+
+    def test_stop_requests_halt(self):
+        loop = EventLoop()
+        seen = []
+
+        def handler(ev):
+            seen.append(ev.time)
+            loop.stop()
+
+        loop.register(EventKind.WAKEUP, handler)
+        loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(2.0, EventKind.WAKEUP)
+        loop.run()
+        assert seen == [1.0]
+
+    def test_missing_handler_raises(self):
+        loop = EventLoop()
+        loop.schedule(1.0, EventKind.WAKEUP)
+        with pytest.raises(SimulationError, match="no handler"):
+            loop.run()
+
+    def test_reentrant_run_raises(self):
+        loop = EventLoop()
+
+        def handler(ev):
+            loop.run()
+
+        loop.register(EventKind.WAKEUP, handler)
+        loop.schedule(1.0, EventKind.WAKEUP)
+        with pytest.raises(SimulationError, match="reentrant"):
+            loop.run()
+
+    def test_processed_events_counter(self):
+        loop, _ = make_loop_with_log()
+        for t in range(4):
+            loop.schedule(float(t), EventKind.WAKEUP)
+        loop.run()
+        assert loop.processed_events == 4
+
+    def test_handlers_can_chain_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def handler(ev):
+            seen.append(ev.time)
+            if ev.time < 3.0:
+                loop.schedule_in(1.0, EventKind.WAKEUP)
+
+        loop.register(EventKind.WAKEUP, handler)
+        loop.schedule(0.0, EventKind.WAKEUP)
+        loop.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestDeterminism:
+    def test_identical_schedules_produce_identical_histories(self):
+        histories = []
+        for _ in range(2):
+            loop, log = make_loop_with_log()
+            loop.schedule(2.0, EventKind.FAILURE, node=1)
+            loop.schedule(2.0, EventKind.FINISH, job_id=9)
+            loop.schedule(1.0, EventKind.ARRIVAL, job_id=3)
+            loop.run()
+            histories.append([(t, k.value, tuple(sorted(p))) for t, k, p in log])
+        assert histories[0] == histories[1]

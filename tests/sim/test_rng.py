@@ -1,0 +1,75 @@
+"""Unit and property tests for the seeded randomness utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import DEFAULT_SEED, make_rng, stable_uniform, substream
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).random(8)
+        b = make_rng(42).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(8), make_rng(2).random(8))
+
+    def test_none_uses_default_seed(self):
+        assert np.array_equal(
+            make_rng(None).random(4), make_rng(DEFAULT_SEED).random(4)
+        )
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(5)
+        assert make_rng(gen) is gen
+
+
+class TestSubstream:
+    def test_same_tag_same_stream(self):
+        assert np.array_equal(
+            substream(1, "workload").random(4), substream(1, "workload").random(4)
+        )
+
+    def test_different_tags_are_independent(self):
+        a = substream(1, "workload").random(4)
+        b = substream(1, "failures").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ_for_same_tag(self):
+        a = substream(1, "workload").random(4)
+        b = substream(2, "workload").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_generator_input_rejected(self):
+        with pytest.raises(TypeError):
+            substream(np.random.default_rng(0), "tag")
+
+    def test_none_seed_uses_default(self):
+        assert np.array_equal(
+            substream(None, "x").random(3), substream(DEFAULT_SEED, "x").random(3)
+        )
+
+
+class TestStableUniform:
+    def test_deterministic_per_key(self):
+        assert stable_uniform("k", 1) == stable_uniform("k", 1)
+
+    def test_keys_decorrelate(self):
+        values = {stable_uniform(f"key{i}", 1) for i in range(100)}
+        assert len(values) == 100
+
+    @given(st.text(max_size=40), st.integers(min_value=0, max_value=2**31))
+    def test_always_in_unit_interval(self, key, seed):
+        value = stable_uniform(key, seed)
+        assert 0.0 <= value < 1.0
+
+    def test_roughly_uniform(self):
+        values = [stable_uniform(f"u{i}", 3) for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 0.5) < 0.03
+        quartile = sum(1 for v in values if v < 0.25) / len(values)
+        assert abs(quartile - 0.25) < 0.05

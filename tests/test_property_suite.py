@@ -1,0 +1,115 @@
+"""Cross-module property tests (hypothesis) on structural invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.topology import FlatTopology, MeshTopology, RingTopology
+from repro.workload.job import Job, JobLog
+from repro.workload.swf import roundtrip
+
+
+class TestTopologyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        free=st.sets(st.integers(min_value=0, max_value=15), max_size=16),
+        size=st.integers(min_value=1, max_value=16),
+    )
+    def test_flat_returns_exactly_size_free_nodes(self, free, size):
+        topo = FlatTopology(16)
+        result = topo.select_partition(sorted(free), size, 0.0, 1.0)
+        if result is None:
+            assert len(free) < size
+        else:
+            assert len(result) == size
+            assert set(result) <= free
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        free=st.sets(st.integers(min_value=0, max_value=15), max_size=16),
+        size=st.integers(min_value=1, max_value=16),
+    )
+    def test_ring_blocks_are_contiguous(self, free, size):
+        topo = RingTopology(16)
+        result = topo.select_partition(sorted(free), size, 0.0, 1.0)
+        if result is None:
+            return
+        assert len(result) == size
+        assert set(result) <= free
+        # Contiguity with wraparound: some rotation of the block is a run
+        # of consecutive indexes mod 16.
+        block = set(result)
+        assert any(
+            all((origin + k) % 16 in block for k in range(size))
+            for origin in result
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        free=st.sets(st.integers(min_value=0, max_value=15), max_size=16),
+        size=st.integers(min_value=1, max_value=16),
+    )
+    def test_mesh_blocks_are_rectangles(self, free, size):
+        topo = MeshTopology(16)  # 4x4
+        result = topo.select_partition(sorted(free), size, 0.0, 1.0)
+        if result is None:
+            return
+        assert set(result) <= free
+        assert len(result) >= size  # internal fragmentation allowed
+        rows = sorted({n // 4 for n in result})
+        cols = sorted({n % 4 for n in result})
+        # Axis-aligned rectangle: the block is exactly rows x cols.
+        assert rows == list(range(rows[0], rows[-1] + 1))
+        assert cols == list(range(cols[0], cols[-1] + 1))
+        assert len(result) == len(rows) * len(cols)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=16),
+    )
+    def test_constraint_hierarchy_on_full_cluster(self, size):
+        """On an empty cluster every topology can place every size; the
+        constrained ones never return fewer nodes than flat."""
+        everything = list(range(16))
+        flat = FlatTopology(16).select_partition(everything, size, 0.0, 1.0)
+        ring = RingTopology(16).select_partition(everything, size, 0.0, 1.0)
+        mesh = MeshTopology(16).select_partition(everything, size, 0.0, 1.0)
+        assert flat is not None and ring is not None and mesh is not None
+        assert len(flat) == len(ring) == size
+        assert len(mesh) >= size
+
+
+class TestSwfRoundtripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e7),   # arrival
+                st.integers(min_value=1, max_value=128),   # size
+                st.floats(min_value=1.0, max_value=5e5),   # runtime
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_preserves_modelled_fields(self, jobs):
+        log = JobLog(
+            [
+                Job(job_id=i + 1, arrival_time=a, size=s, runtime=r)
+                for i, (a, s, r) in enumerate(jobs)
+            ],
+            name="fuzz",
+        )
+        parsed = roundtrip(log)
+        assert len(parsed) == len(log)
+        # Sub-second arrivals round to whole seconds, which can reorder
+        # near-tied jobs; match records by id, not by position.
+        by_id = {j.job_id: j for j in parsed}
+        for original in log:
+            back = by_id[original.job_id]
+            assert back.size == original.size
+            # SWF stores whole seconds.
+            assert back.runtime == pytest.approx(original.runtime, abs=0.51)
+            assert back.arrival_time == pytest.approx(
+                original.arrival_time, abs=0.51
+            )

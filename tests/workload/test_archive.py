@@ -1,0 +1,121 @@
+"""Unit tests for experiment bundles (disk export/import/cache)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.failures.generator import generate_failure_trace
+from repro.workload.archive import (
+    BundleManifest,
+    MANIFEST_FILE,
+    ensure_bundle,
+    read_bundle,
+    write_bundle,
+)
+from repro.workload.synthetic import nasa_log
+
+
+@pytest.fixture
+def sample():
+    log = nasa_log(seed=5, job_count=40)
+    failures = generate_failure_trace(20 * 86400.0, seed=5)
+    return log, failures
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, sample):
+        log, failures = sample
+        write_bundle(tmp_path / "b", log, failures, seed=5)
+        loaded_log, loaded_failures, manifest = read_bundle(tmp_path / "b")
+        assert len(loaded_log) == len(log)
+        assert len(loaded_failures) == len(failures)
+        assert manifest.workload == "nasa"
+        assert manifest.seed == 5
+
+    def test_failure_fields_preserved(self, tmp_path, sample):
+        log, failures = sample
+        write_bundle(tmp_path / "b", log, failures)
+        _, loaded, _ = read_bundle(tmp_path / "b")
+        for original, back in zip(failures, loaded):
+            assert back.event_id == original.event_id
+            assert back.node == original.node
+            assert back.subsystem == original.subsystem
+            assert back.time == pytest.approx(original.time, abs=0.01)
+
+    def test_job_fields_preserved(self, tmp_path, sample):
+        log, failures = sample
+        write_bundle(tmp_path / "b", log, failures)
+        loaded, _, _ = read_bundle(tmp_path / "b")
+        for original, back in zip(log, loaded):
+            assert back.size == original.size
+            assert back.runtime == pytest.approx(original.runtime, abs=1.0)
+
+    def test_extra_metadata(self, tmp_path, sample):
+        log, failures = sample
+        write_bundle(tmp_path / "b", log, failures, extra={"note": "test"})
+        _, _, manifest = read_bundle(tmp_path / "b")
+        assert manifest.extra == {"note": "test"}
+
+
+class TestManifest:
+    def test_version_checked(self, tmp_path, sample):
+        log, failures = sample
+        write_bundle(tmp_path / "b", log, failures)
+        manifest_path = tmp_path / "b" / MANIFEST_FILE
+        data = json.loads(manifest_path.read_text())
+        data["version"] = 99
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="version"):
+            read_bundle(tmp_path / "b")
+
+    def test_missing_bundle_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_bundle(tmp_path / "absent")
+
+    def test_manifest_json_roundtrip(self):
+        manifest = BundleManifest(
+            version=1,
+            workload="sdsc",
+            job_count=10,
+            failure_count=3,
+            seed=7,
+            failure_duration=1000.0,
+            extra={"k": "v"},
+        )
+        assert BundleManifest.from_json(manifest.to_json()) == manifest
+
+
+class TestEnsureBundle:
+    def test_generates_on_first_call(self, tmp_path):
+        log, failures, manifest = ensure_bundle(
+            tmp_path / "cache", "nasa", 30, seed=5, failure_duration=10 * 86400.0
+        )
+        assert len(log) == 30
+        assert manifest.seed == 5
+
+    def test_reuses_matching_cache(self, tmp_path):
+        directory = tmp_path / "cache"
+        ensure_bundle(directory, "nasa", 30, seed=5, failure_duration=10 * 86400.0)
+        marker = directory / MANIFEST_FILE
+        first_mtime = marker.stat().st_mtime_ns
+        ensure_bundle(directory, "nasa", 30, seed=5, failure_duration=10 * 86400.0)
+        assert marker.stat().st_mtime_ns == first_mtime  # not rewritten
+
+    def test_regenerates_on_parameter_change(self, tmp_path):
+        directory = tmp_path / "cache"
+        ensure_bundle(directory, "nasa", 30, seed=5, failure_duration=10 * 86400.0)
+        log, _, manifest = ensure_bundle(
+            directory, "nasa", 45, seed=5, failure_duration=10 * 86400.0
+        )
+        assert len(log) == 45
+        assert manifest.job_count == 45
+
+    def test_regenerates_when_horizon_too_short(self, tmp_path):
+        directory = tmp_path / "cache"
+        ensure_bundle(directory, "nasa", 30, seed=5, failure_duration=5 * 86400.0)
+        _, _, manifest = ensure_bundle(
+            directory, "nasa", 30, seed=5, failure_duration=50 * 86400.0
+        )
+        assert manifest.failure_duration >= 50 * 86400.0 - 1e-6

@@ -1,0 +1,115 @@
+"""Unit and property tests for job records and job logs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload.job import Job, JobLog
+
+
+def make_job(job_id=1, arrival=0.0, size=4, runtime=3600.0):
+    return Job(job_id=job_id, arrival_time=arrival, size=size, runtime=runtime)
+
+
+class TestJobValidation:
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            make_job(size=0)
+
+    def test_zero_runtime_rejected(self):
+        with pytest.raises(ValueError, match="runtime"):
+            make_job(runtime=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError, match="arrival"):
+            make_job(arrival=-1.0)
+
+    def test_work_is_runtime_times_size(self):
+        assert make_job(size=3, runtime=100.0).work == 300.0
+
+
+class TestCheckpointCounting:
+    def test_job_shorter_than_interval_never_checkpoints(self):
+        assert make_job(runtime=1800.0).checkpoint_count(3600.0) == 0
+
+    def test_exact_multiple_skips_final_request(self):
+        # A request coinciding with completion is never issued.
+        assert make_job(runtime=7200.0).checkpoint_count(3600.0) == 1
+
+    def test_general_count(self):
+        assert make_job(runtime=10_000.0).checkpoint_count(3600.0) == 2
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            make_job().checkpoint_count(0.0)
+
+    def test_padded_runtime_adds_overhead_per_request(self):
+        job = make_job(runtime=10_000.0)
+        assert job.padded_runtime(3600.0, 720.0) == 10_000.0 + 2 * 720.0
+
+    @given(
+        runtime=st.floats(min_value=1.0, max_value=5e5),
+        interval=st.floats(min_value=60.0, max_value=5e4),
+        overhead=st.floats(min_value=0.0, max_value=5e3),
+    )
+    def test_padded_runtime_bounds(self, runtime, interval, overhead):
+        job = make_job(runtime=runtime)
+        padded = job.padded_runtime(interval, overhead)
+        count = job.checkpoint_count(interval)
+        assert padded >= runtime
+        assert count >= 0
+        # At most one request per full interval of execution.
+        assert count <= math.ceil(runtime / interval)
+
+
+class TestJobLog:
+    def test_jobs_sorted_by_arrival(self):
+        log = JobLog(
+            [make_job(1, arrival=50.0), make_job(2, arrival=10.0)], name="x"
+        )
+        assert [j.job_id for j in log] == [2, 1]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            JobLog([make_job(1), make_job(1, arrival=1.0)])
+
+    def test_len_and_indexing(self, tiny_jobs):
+        assert len(tiny_jobs) == 5
+        assert tiny_jobs[0].job_id == 1
+
+    def test_truncate_keeps_earliest_arrivals(self, tiny_jobs):
+        head = tiny_jobs.truncate(2)
+        assert [j.job_id for j in head] == [1, 2]
+        assert len(tiny_jobs) == 5  # original untouched
+
+    def test_scaled_sizes_clips(self, tiny_jobs):
+        clipped = tiny_jobs.scaled_sizes(2)
+        assert max(j.size for j in clipped) == 2
+        assert [j.job_id for j in clipped] == [j.job_id for j in tiny_jobs]
+
+    def test_stats_aggregates(self, tiny_jobs):
+        stats = tiny_jobs.stats()
+        assert stats.job_count == 5
+        assert stats.mean_size == pytest.approx((2 + 4 + 1 + 8 + 3) / 5)
+        assert stats.max_runtime == 7200.0
+        assert stats.span == 7200.0
+        assert stats.total_work == pytest.approx(
+            2 * 1800 + 4 * 7200 + 1 * 600 + 8 * 3600 + 3 * 5400
+        )
+
+    def test_stats_offered_load(self, tiny_jobs):
+        stats = tiny_jobs.stats()
+        assert stats.offered_load(16) == pytest.approx(
+            stats.total_work / (stats.span * 16)
+        )
+
+    def test_empty_log_stats(self):
+        stats = JobLog([], name="empty").stats()
+        assert stats.job_count == 0
+        assert stats.total_work == 0.0
+
+    def test_max_runtime_hours(self, tiny_jobs):
+        assert tiny_jobs.stats().max_runtime_hours == pytest.approx(2.0)

@@ -1,0 +1,145 @@
+"""Unit and property tests for the workload statistical building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import make_rng
+from repro.workload.models import (
+    MixedSizes,
+    PowerOfTwoSizes,
+    calibrate_mean,
+    diurnal_weights,
+    sessionised_arrivals,
+    truncated_lognormal,
+)
+
+
+class TestTruncatedLognormal:
+    def test_respects_bounds(self):
+        values = truncated_lognormal(make_rng(1), 5000, 100.0, 2.0, 10.0, 1000.0)
+        assert values.min() >= 10.0
+        assert values.max() <= 1000.0
+
+    def test_count_exact(self):
+        assert len(truncated_lognormal(make_rng(1), 37, 100.0, 1.0, 1.0, 1e6)) == 37
+
+    def test_median_roughly_honoured(self):
+        values = truncated_lognormal(make_rng(1), 20_000, 100.0, 1.0, 1.0, 1e9)
+        assert np.median(values) == pytest.approx(100.0, rel=0.05)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_lognormal(make_rng(1), 10, 100.0, 1.0, 50.0, 10.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_lognormal(make_rng(1), -1, 100.0, 1.0, 1.0, 10.0)
+
+
+class TestCalibrateMean:
+    def test_hits_target_within_tolerance(self):
+        values = make_rng(2).lognormal(3.0, 1.5, size=5000)
+        result = calibrate_mean(values, 50.0, 1.0, 1e5)
+        assert result.mean() == pytest.approx(50.0, rel=0.01)
+
+    def test_result_respects_clip_bounds(self):
+        values = make_rng(2).lognormal(3.0, 2.0, size=5000)
+        result = calibrate_mean(values, 100.0, 10.0, 500.0)
+        assert result.min() >= 10.0
+        assert result.max() <= 500.0
+
+    def test_infeasible_target_saturates_at_bounds(self):
+        # Target above the max: best achievable is everything at the cap.
+        values = np.ones(100) * 5.0
+        result = calibrate_mean(values, 1e9, 1.0, 10.0)
+        assert result.max() <= 10.0
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_mean(np.ones(5), 0.0, 1.0, 10.0)
+
+    @given(target=st.floats(min_value=5.0, max_value=500.0))
+    @settings(max_examples=20, deadline=None)
+    def test_feasible_targets_are_hit(self, target):
+        values = make_rng(3).lognormal(3.0, 1.0, size=2000)
+        result = calibrate_mean(values, target, 0.1, 1e4)
+        assert result.mean() == pytest.approx(target, rel=0.02)
+
+
+class TestSizeSamplers:
+    def test_power_of_two_produces_only_powers(self):
+        sampler = PowerOfTwoSizes((0.5, 0.3, 0.2))
+        sizes = sampler.sample(make_rng(1), 1000)
+        assert set(np.unique(sizes)) <= {1, 2, 4}
+
+    def test_power_of_two_mean(self):
+        sampler = PowerOfTwoSizes((0.5, 0.3, 0.2))
+        assert sampler.mean == pytest.approx(0.5 * 1 + 0.3 * 2 + 0.2 * 4)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoSizes(())
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoSizes((0.5, -0.1))
+
+    def test_mixed_sizes_include_odd_values(self):
+        sampler = MixedSizes(
+            power_of_two=PowerOfTwoSizes((0.5, 0.5)), p2_fraction=0.4, odd_max=50
+        )
+        sizes = sampler.sample(make_rng(1), 3000)
+        odd = [s for s in sizes if s not in (1, 2, 4, 8, 16, 32)]
+        assert odd, "expected some non-power-of-two sizes"
+        assert max(sizes) <= 50
+
+    def test_mixed_fraction_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            MixedSizes(PowerOfTwoSizes((1.0,)), p2_fraction=1.5, odd_max=8)
+
+    def test_mixed_sizes_at_least_one(self):
+        sampler = MixedSizes(PowerOfTwoSizes((1.0,)), p2_fraction=0.0, odd_max=64)
+        assert sampler.sample(make_rng(1), 500).min() >= 1
+
+
+class TestArrivals:
+    def test_exact_count_and_sorted(self):
+        arrivals = sessionised_arrivals(make_rng(1), 500, span=86400.0)
+        assert len(arrivals) == 500
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_within_span(self):
+        arrivals = sessionised_arrivals(make_rng(1), 200, span=1000.0)
+        assert arrivals.min() >= 0.0
+        assert arrivals.max() <= 1000.0
+
+    def test_zero_count(self):
+        assert len(sessionised_arrivals(make_rng(1), 0, span=100.0)) == 0
+
+    def test_bad_span_rejected(self):
+        with pytest.raises(ValueError):
+            sessionised_arrivals(make_rng(1), 10, span=0.0)
+
+    def test_bad_burstiness_rejected(self):
+        with pytest.raises(ValueError):
+            sessionised_arrivals(make_rng(1), 10, span=100.0, burstiness=2.0)
+
+    def test_bursty_arrivals_cluster_more(self):
+        smooth = sessionised_arrivals(make_rng(5), 2000, 10 * 86400.0, burstiness=0.0)
+        bursty = sessionised_arrivals(make_rng(5), 2000, 10 * 86400.0, burstiness=0.9)
+        def cv(a):
+            gaps = np.diff(a)
+            return gaps.std() / gaps.mean()
+        assert cv(bursty) > cv(smooth)
+
+    def test_diurnal_weights_peak_in_afternoon(self):
+        afternoon = diurnal_weights(np.array([15.0 * 3600]))
+        night = diurnal_weights(np.array([3.0 * 3600]))
+        assert afternoon[0] > night[0]
+
+    def test_diurnal_weights_positive(self):
+        hours = np.arange(0, 24) * 3600.0
+        assert (diurnal_weights(hours) > 0).all()

@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic NASA/SDSC workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.synthetic import (
+    NASA_SPEC,
+    SDSC_SPEC,
+    generate_workload,
+    log_by_name,
+    nasa_log,
+    sdsc_log,
+)
+
+JOBS = 4000
+
+
+@pytest.fixture(scope="module")
+def nasa():
+    return nasa_log(seed=1, job_count=JOBS)
+
+
+@pytest.fixture(scope="module")
+def sdsc():
+    return sdsc_log(seed=1, job_count=JOBS)
+
+
+class TestTable1Marginals:
+    def test_nasa_mean_size(self, nasa):
+        assert nasa.stats().mean_size == pytest.approx(6.3, rel=0.2)
+
+    def test_nasa_mean_runtime(self, nasa):
+        assert nasa.stats().mean_runtime == pytest.approx(381.0, rel=0.15)
+
+    def test_nasa_max_runtime_cap(self, nasa):
+        assert nasa.stats().max_runtime <= 12 * 3600.0
+
+    def test_sdsc_mean_size(self, sdsc):
+        assert sdsc.stats().mean_size == pytest.approx(9.7, rel=0.2)
+
+    def test_sdsc_mean_runtime(self, sdsc):
+        assert sdsc.stats().mean_runtime == pytest.approx(7722.0, rel=0.15)
+
+    def test_sdsc_max_runtime_cap(self, sdsc):
+        assert sdsc.stats().max_runtime <= 132 * 3600.0
+
+
+class TestShape:
+    def test_nasa_sizes_are_powers_of_two(self, nasa):
+        sizes = {j.size for j in nasa}
+        assert sizes <= {1, 2, 4, 8, 16, 32, 64, 128}
+
+    def test_sdsc_sizes_include_odd_values(self, sdsc):
+        assert any(j.size not in (1, 2, 4, 8, 16, 32, 64, 128) for j in sdsc)
+
+    def test_per_job_work_cap_enforced(self, sdsc):
+        assert max(j.work for j in sdsc) <= SDSC_SPEC.max_work * 1.001
+
+    def test_nasa_work_cap_enforced(self, nasa):
+        assert max(j.work for j in nasa) <= NASA_SPEC.max_work * 1.001
+
+    def test_runtimes_above_minimum(self, nasa, sdsc):
+        assert min(j.runtime for j in nasa) >= NASA_SPEC.min_runtime
+        assert min(j.runtime for j in sdsc) >= SDSC_SPEC.min_runtime
+
+    def test_sizes_capped_at_cluster_width(self, sdsc):
+        assert max(j.size for j in sdsc) <= 128
+
+    def test_size_runtime_positively_correlated(self, sdsc):
+        sizes = np.array([j.size for j in sdsc], dtype=float)
+        runtimes = np.array([j.runtime for j in sdsc])
+        corr = np.corrcoef(np.log(sizes + 1), np.log(runtimes))[0, 1]
+        assert corr > 0.05
+
+
+class TestArrivalProcess:
+    def test_arrivals_sorted(self, sdsc):
+        arrivals = [j.arrival_time for j in sdsc]
+        assert arrivals == sorted(arrivals)
+
+    def test_offered_load_near_target(self, sdsc):
+        stats = sdsc.stats()
+        assert stats.offered_load(128) == pytest.approx(
+            SDSC_SPEC.offered_load, rel=0.15
+        )
+
+    def test_nasa_lighter_than_sdsc_per_job(self, nasa, sdsc):
+        assert nasa.stats().total_work < sdsc.stats().total_work
+
+
+class TestDeterminismAndApi:
+    def test_same_seed_same_log(self):
+        a = sdsc_log(seed=9, job_count=200)
+        b = sdsc_log(seed=9, job_count=200)
+        assert [(j.arrival_time, j.size, j.runtime) for j in a] == [
+            (j.arrival_time, j.size, j.runtime) for j in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = sdsc_log(seed=9, job_count=200)
+        b = sdsc_log(seed=10, job_count=200)
+        assert [(j.size, j.runtime) for j in a] != [(j.size, j.runtime) for j in b]
+
+    def test_log_by_name_dispatch(self):
+        assert log_by_name("nasa", seed=1, job_count=10).name == "nasa"
+        assert log_by_name("SDSC", seed=1, job_count=10).name == "sdsc"
+
+    def test_log_by_name_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            log_by_name("cray", job_count=10)
+
+    def test_job_count_override(self):
+        assert len(generate_workload(NASA_SPEC, seed=1, job_count=33)) == 33
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(NASA_SPEC, seed=1, job_count=0)
+
+    def test_job_ids_unique_and_ordered(self, nasa):
+        ids = [j.job_id for j in nasa]
+        assert len(set(ids)) == len(ids)
