@@ -1,0 +1,293 @@
+"""Ledger hot-path microbenchmarks (the ``BENCH_ledger.json`` harness).
+
+Three scenarios bracket the free-time-profile hot path from unit scale to
+the full system:
+
+* ``find_slot_deep_queue`` — a deep conservative-backfilling queue (many
+  live bookings) probed with a batch of ``find_slot`` queries, with zero
+  mutations between probes; this isolates the profile-rebuild cost the
+  incremental ledger removes, and is the scenario the ≥3× acceptance gate
+  applies to.
+* ``negotiation_dialogue`` — full submission dialogues (offer enumeration,
+  capacity prefilter, per-node verification, booking) against a picky
+  user, so queries and mutations interleave the way the simulator drives
+  them.
+* ``nasa_end_to_end`` — an end-to-end NASA-trace simulation point, the
+  outermost number a future perf PR should watch.
+
+Every scenario is run on the optimised
+:class:`~repro.cluster.reservations.ReservationLedger` *and* on the frozen
+:class:`~repro.cluster.reference.SeedReservationLedger`, asserting along
+the way that both return identical answers; timings are reported as the
+median over ``--repeats`` runs.  Results go to ``BENCH_ledger.json`` so
+the perf trajectory is diffable across PRs:
+
+    PYTHONPATH=src python benchmarks/perf/run.py            # default scale
+    PYTHONPATH=src python benchmarks/perf/run.py --smoke    # seconds, CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import repro.cluster.machine as machine_module
+from repro.cluster.reference import SeedReservationLedger
+from repro.cluster.reservations import ReservationLedger
+from repro.cluster.topology import FlatTopology
+from repro.core.negotiation import Negotiator
+from repro.core.system import simulate
+from repro.core.users import RiskThresholdUser
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.runner import ExperimentContext
+from repro.prediction.trace import TracePredictor
+from repro.failures.generator import FailureModelSpec, generate_failure_trace
+
+#: Presets trade fidelity for wall clock; ``smoke`` exists so the tier-1
+#: suite can exercise the harness end-to-end in a couple of seconds.
+PRESETS: Dict[str, Dict[str, int]] = {
+    "default": dict(
+        nodes=128, bookings=400, queries=150, dialogue_jobs=60, nasa_jobs=250
+    ),
+    "smoke": dict(nodes=32, bookings=40, queries=15, dialogue_jobs=8, nasa_jobs=0),
+}
+
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Scenario construction (deterministic: everything flows from `seed`)
+# ----------------------------------------------------------------------
+def build_deep_ledger(ledger_cls, nodes: int, bookings: int, seed: int):
+    """A realistic deep queue: jobs packed by find_slot itself."""
+    rng = random.Random(seed)
+    ledger = ledger_cls(nodes)
+    clock = 0.0
+    for job_id in range(1, bookings + 1):
+        size = rng.randint(1, max(1, nodes // 2))
+        duration = rng.uniform(600.0, 6.0 * 3600.0)
+        start, chosen = ledger.find_slot(size, duration, clock)
+        ledger.reserve(job_id, chosen, start, start + duration)
+        clock += rng.uniform(0.0, 120.0)
+    return ledger
+
+
+def make_queries(
+    nodes: int, queries: int, horizon: float, seed: int
+) -> List[Tuple[int, float, float]]:
+    rng = random.Random(seed + 1)
+    return [
+        (
+            rng.randint(1, max(1, nodes // 2)),
+            rng.uniform(600.0, 6.0 * 3600.0),
+            rng.uniform(0.0, horizon),
+        )
+        for _ in range(queries)
+    ]
+
+
+def _ledger_horizon(ledger) -> float:
+    ends = [r.end for r in ledger.reservations()]
+    return max(ends) if ends else 0.0
+
+
+def run_find_slot_queries(ledger, queries) -> List[Tuple[float, List[int]]]:
+    return [ledger.find_slot(size, dur, t0) for size, dur, t0 in queries]
+
+
+def run_dialogues(ledger, nodes: int, jobs: int, seed: int) -> List[Tuple]:
+    """Negotiate and book `jobs` submissions back to back."""
+    rng = random.Random(seed + 2)
+    horizon = 60.0 * 86400.0
+    failures = generate_failure_trace(
+        horizon, spec=FailureModelSpec(nodes=nodes), seed=seed
+    )
+    predictor = TracePredictor(failures, accuracy=0.7, seed=seed)
+    user = RiskThresholdUser(0.9)
+    negotiator = Negotiator(ledger, FlatTopology(nodes), predictor, scorer=None)
+    outcomes = []
+    clock = 0.0
+    for job_id in range(10_000, 10_000 + jobs):
+        size = rng.randint(1, max(1, nodes // 2))
+        duration = rng.uniform(1800.0, 8.0 * 3600.0)
+        outcome = negotiator.negotiate(job_id, size, duration, clock, user)
+        outcomes.append(
+            (outcome.start, outcome.nodes, outcome.reserved_end, outcome.offers_made)
+        )
+        clock += rng.uniform(0.0, 60.0)
+    return outcomes
+
+
+def run_nasa_point(jobs: int, seed: int):
+    """One end-to-end (a=0.7, U=0.5) NASA simulation point."""
+    setup = ExperimentSetup(workload="nasa", job_count=jobs, seed=seed)
+    context = ExperimentContext.prepare(setup)
+    config = context.config(accuracy=0.7, user_threshold=0.5)
+    return simulate(config, context.log, context.failures)
+
+
+# ----------------------------------------------------------------------
+# Timing machinery
+# ----------------------------------------------------------------------
+def _timed(fn: Callable[[], object], repeats: int) -> Tuple[List[float], object]:
+    """Wall-clock samples for ``repeats`` runs plus the last result."""
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    return samples, result
+
+
+def _entry(samples: List[float]) -> Dict[str, object]:
+    return {
+        "median_s": statistics.median(samples),
+        "samples_s": [round(s, 6) for s in samples],
+    }
+
+
+def bench_find_slot(params: Dict[str, int], seed: int, repeats: int) -> Dict:
+    nodes, bookings, queries = params["nodes"], params["bookings"], params["queries"]
+    current = build_deep_ledger(ReservationLedger, nodes, bookings, seed)
+    baseline = build_deep_ledger(SeedReservationLedger, nodes, bookings, seed)
+    if current.reservations() != baseline.reservations():
+        raise AssertionError("optimised ledger packed the queue differently")
+    batch = make_queries(nodes, queries, _ledger_horizon(current), seed)
+
+    cur_samples, cur_answers = _timed(
+        lambda: run_find_slot_queries(current, batch), repeats
+    )
+    seed_samples, seed_answers = _timed(
+        lambda: run_find_slot_queries(baseline, batch), repeats
+    )
+    if cur_answers != seed_answers:
+        raise AssertionError("find_slot answers diverge from the seed ledger")
+
+    cur_med, seed_med = statistics.median(cur_samples), statistics.median(seed_samples)
+    return {
+        "description": "batch of find_slot probes against a deep static queue",
+        "params": {**params, "seed": seed},
+        "current": _entry(cur_samples),
+        "seed": _entry(seed_samples),
+        "speedup": seed_med / cur_med if cur_med > 0 else float("inf"),
+        "answers_identical": True,
+    }
+
+
+def bench_negotiation(params: Dict[str, int], seed: int, repeats: int) -> Dict:
+    nodes, jobs = params["nodes"], params["dialogue_jobs"]
+    bookings = params["bookings"] // 2
+
+    def current_run():
+        ledger = build_deep_ledger(ReservationLedger, nodes, bookings, seed)
+        return run_dialogues(ledger, nodes, jobs, seed)
+
+    def seed_run():
+        ledger = build_deep_ledger(SeedReservationLedger, nodes, bookings, seed)
+        return run_dialogues(ledger, nodes, jobs, seed)
+
+    cur_samples, cur_out = _timed(current_run, repeats)
+    seed_samples, seed_out = _timed(seed_run, repeats)
+    if cur_out != seed_out:
+        raise AssertionError("negotiation outcomes diverge from the seed ledger")
+
+    cur_med, seed_med = statistics.median(cur_samples), statistics.median(seed_samples)
+    return {
+        "description": "full submission dialogues (offers + bookings) vs a picky user",
+        "params": {"nodes": nodes, "warm_bookings": bookings, "jobs": jobs, "seed": seed},
+        "current": _entry(cur_samples),
+        "seed": _entry(seed_samples),
+        "speedup": seed_med / cur_med if cur_med > 0 else float("inf"),
+        "answers_identical": True,
+    }
+
+
+def bench_nasa(params: Dict[str, int], seed: int, repeats: int) -> Optional[Dict]:
+    jobs = params["nasa_jobs"]
+    if jobs <= 0:
+        return None
+
+    cur_samples, cur_result = _timed(lambda: run_nasa_point(jobs, seed), repeats)
+
+    # Re-run the identical point on the seed ledger by swapping the class
+    # the Cluster instantiates; everything downstream is duck-typed.
+    original = machine_module.ReservationLedger
+    machine_module.ReservationLedger = SeedReservationLedger
+    try:
+        seed_samples, seed_result = _timed(lambda: run_nasa_point(jobs, seed), repeats)
+    finally:
+        machine_module.ReservationLedger = original
+
+    if cur_result.metrics != seed_result.metrics:
+        raise AssertionError("end-to-end metrics diverge from the seed ledger")
+
+    cur_med, seed_med = statistics.median(cur_samples), statistics.median(seed_samples)
+    return {
+        "description": "end-to-end NASA replication point (a=0.7, U=0.5)",
+        "params": {"jobs": jobs, "seed": seed},
+        "current": _entry(cur_samples),
+        "seed": _entry(seed_samples),
+        "speedup": seed_med / cur_med if cur_med > 0 else float("inf"),
+        "metrics_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_benchmarks(
+    out_path: str = "BENCH_ledger.json",
+    preset: str = "default",
+    repeats: int = 5,
+    seed: int = 20050628,
+) -> Dict:
+    params = PRESETS[preset]
+    repeats = max(1, repeats)
+    scenarios: Dict[str, Dict] = {}
+    scenarios["find_slot_deep_queue"] = bench_find_slot(params, seed, repeats)
+    scenarios["negotiation_dialogue"] = bench_negotiation(params, seed, repeats)
+    nasa = bench_nasa(params, seed, repeats)
+    if nasa is not None:
+        scenarios["nasa_end_to_end"] = nasa
+
+    report = {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "benchmarks/perf/run.py",
+        "preset": preset,
+        "repeats": repeats,
+        "seed": seed,
+        "scenarios": scenarios,
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_ledger.json", help="output JSON path")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument("--smoke", action="store_true", help="alias for --preset smoke")
+    parser.add_argument("--repeats", type=int, default=5, help="median-of-N runs")
+    parser.add_argument("--seed", type=int, default=20050628)
+    args = parser.parse_args(argv)
+
+    preset = "smoke" if args.smoke else args.preset
+    report = run_benchmarks(
+        out_path=args.out, preset=preset, repeats=args.repeats, seed=args.seed
+    )
+    for name, data in report["scenarios"].items():
+        print(
+            f"{name:24s} current {data['current']['median_s'] * 1e3:9.2f} ms"
+            f"   seed {data['seed']['median_s'] * 1e3:9.2f} ms"
+            f"   speedup {data['speedup']:.2f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0

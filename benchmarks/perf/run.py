@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Entry point for the ledger perf harness.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python benchmarks/perf/run.py [--smoke] [--repeats N]
+                                                 [--out BENCH_ledger.json]
+
+See ``ledger_bench.py`` for the scenario definitions and the JSON schema.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from ledger_bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

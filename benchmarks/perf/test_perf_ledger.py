@@ -1,0 +1,40 @@
+"""Perf regression gates for the incremental free-time profile.
+
+Marked ``perf`` and living outside the tier-1 ``testpaths``, so they run
+only when invoked explicitly:
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -m perf -q
+
+The thresholds are deliberately below the speedups we actually measure
+(BENCH_ledger.json records ~an order of magnitude on the deep-queue
+scenario) so the gate trips on real regressions, not timer noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from ledger_bench import PRESETS, bench_find_slot, bench_negotiation
+
+SEED = 20050628
+
+
+@pytest.mark.perf
+def test_deep_queue_find_slot_at_least_3x_faster_than_seed():
+    result = bench_find_slot(PRESETS["default"], seed=SEED, repeats=3)
+    assert result["answers_identical"]
+    assert result["speedup"] >= 3.0, (
+        f"deep-queue find_slot speedup degraded to {result['speedup']:.2f}x "
+        f"(current {result['current']['median_s']:.4f}s vs seed "
+        f"{result['seed']['median_s']:.4f}s)"
+    )
+
+
+@pytest.mark.perf
+def test_negotiation_dialogue_not_slower_than_seed():
+    result = bench_negotiation(PRESETS["default"], seed=SEED, repeats=3)
+    assert result["answers_identical"]
+    assert result["speedup"] >= 1.0, (
+        f"negotiation dialogue slower than the seed ledger "
+        f"({result['speedup']:.2f}x)"
+    )

@@ -2,7 +2,8 @@
 
 from repro.cluster.machine import Cluster
 from repro.cluster.node import Node, NodeState
-from repro.cluster.reservations import Reservation, ReservationLedger
+from repro.cluster.reference import SeedReservationLedger
+from repro.cluster.reservations import CapacityProfile, Reservation, ReservationLedger
 from repro.cluster.topology import (
     FlatTopology,
     RingTopology,
@@ -14,8 +15,10 @@ __all__ = [
     "Cluster",
     "Node",
     "NodeState",
+    "CapacityProfile",
     "Reservation",
     "ReservationLedger",
+    "SeedReservationLedger",
     "FlatTopology",
     "RingTopology",
     "Topology",

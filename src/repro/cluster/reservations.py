@@ -20,6 +20,23 @@ by a node still in its 120 s repair window.  Extensions may overlap a later
 booking; the conflict resolves at start time (the runtime layer starts jobs
 only when their nodes are actually free), mirroring how the paper's
 scheduler never re-optimises the future schedule.
+
+Performance model
+-----------------
+The negotiation dialogue probes the ledger up to ``max_offers`` times per
+submission while mutating it at most a handful of times per job, so the
+ledger is read-dominated by two to three orders of magnitude.  Three
+structures exploit that asymmetry (see DESIGN.md "Performance"):
+
+* the aggregate usage *skyline* is kept as an incrementally maintained
+  delta map; :meth:`ReservationLedger.profile` materialises it into a
+  :class:`CapacityProfile` once per mutation generation and serves every
+  later call from cache in O(1);
+* each node carries a prefix-maximum over its interval end times, making
+  :meth:`ReservationLedger.node_free` a pure O(log k) bisection even after
+  :meth:`ReservationLedger.extend` has destroyed the sortedness of ends;
+* mutations locate a job's per-node interval by bisecting on the known
+  reservation start instead of scanning the interval list.
 """
 
 from __future__ import annotations
@@ -35,7 +52,6 @@ NodeScorer = Callable[[int, float, float], float]
 class CapacityProfile:
     """Aggregate usage over time, for cheap infeasibility prefiltering.
 
-    Built once per scheduling decision from the ledger's current bookings.
     ``max_usage(start, end)`` bounds the nodes simultaneously booked in the
     window from *below* the true per-node constraint: a window can pass the
     capacity test yet still fail node-level availability (two nodes each
@@ -44,6 +60,9 @@ class CapacityProfile:
     :meth:`ReservationLedger.free_nodes` — but a failing window is failing
     for sure, and in deep-queue phases almost every candidate fails here,
     skipping the expensive per-node scan.
+
+    Construct from a reservation list, or from an already-maintained delta
+    map via :meth:`from_deltas` (the ledger's incremental path).
     """
 
     def __init__(self, reservations: Sequence["Reservation"]) -> None:
@@ -52,7 +71,19 @@ class CapacityProfile:
             width = len(r.nodes)
             deltas[r.start] = deltas.get(r.start, 0) + width
             deltas[r.end] = deltas.get(r.end, 0) - width
-        self._boundaries: List[float] = sorted(deltas)
+        self._build(deltas)
+
+    @classmethod
+    def from_deltas(cls, deltas: Dict[float, int]) -> "CapacityProfile":
+        """Materialise a profile from a ``{time: usage delta}`` map."""
+        profile = cls.__new__(cls)
+        profile._build(deltas)
+        return profile
+
+    def _build(self, deltas: Dict[float, int]) -> None:
+        # Zero deltas (e.g. one booking ending exactly where another
+        # starts) change no level and can be dropped.
+        self._boundaries: List[float] = sorted(t for t, d in deltas.items() if d)
         usage: List[int] = []
         level = 0
         for t in self._boundaries:
@@ -124,9 +155,22 @@ class ReservationLedger:
         self._starts: List[List[float]] = [[] for _ in range(node_count)]
         self._ends: List[List[float]] = [[] for _ in range(node_count)]
         self._jobs: List[List[int]] = [[] for _ in range(node_count)]
+        # Prefix maxima over _ends: _pmax_ends[n][i] = max(_ends[n][:i+1]).
+        # Ends are not sorted once extend() has run; the prefix maximum is
+        # what makes node_free a single bisection regardless.
+        self._pmax_ends: List[List[float]] = [[] for _ in range(node_count)]
         self._by_job: Dict[int, Reservation] = {}
         # Sorted multiset of reservation end times (candidate start points).
         self._end_times: List[float] = []
+        # Aggregate usage skyline, maintained incrementally: time -> net
+        # change in booked node count at that instant (zero entries pruned).
+        self._deltas: Dict[float, int] = {}
+        # Cache generations: every mutation bumps _version; the profile and
+        # the sorted reservation view rebuild at most once per generation.
+        self._version = 0
+        self._profile: Optional[CapacityProfile] = None
+        self._profile_version = -1
+        self._sorted: Optional[List[Reservation]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -146,8 +190,30 @@ class ReservationLedger:
         return self._by_job.get(job_id)
 
     def reservations(self) -> List[Reservation]:
-        """All live reservations, sorted by start time."""
-        return sorted(self._by_job.values(), key=lambda r: (r.start, r.job_id))
+        """All live reservations, sorted by start time.
+
+        The sorted view is cached between mutations; callers receive a
+        fresh copy they may mutate freely.
+        """
+        if self._sorted is None:
+            self._sorted = sorted(
+                self._by_job.values(), key=lambda r: (r.start, r.job_id)
+            )
+        return list(self._sorted)
+
+    def profile(self) -> CapacityProfile:
+        """The current capacity profile (cached between mutations).
+
+        The skyline deltas are maintained incrementally by every mutation;
+        this method only pays to materialise boundary/level arrays (and the
+        range-max table) on the first call after a mutation.  During a
+        negotiation dialogue — hundreds of probes, zero mutations — every
+        call after the first is O(1).
+        """
+        if self._profile is None or self._profile_version != self._version:
+            self._profile = CapacityProfile.from_deltas(self._deltas)
+            self._profile_version = self._version
+        return self._profile
 
     # ------------------------------------------------------------------
     # Mutation
@@ -191,9 +257,15 @@ class ReservationLedger:
             self._starts[node].insert(idx, start)
             self._ends[node].insert(idx, end)
             self._jobs[node].insert(idx, job_id)
+            self._pmax_ends[node].insert(idx, end)
+            self._refresh_pmax(node, idx)
         reservation = Reservation(job_id=job_id, nodes=node_tuple, start=start, end=end)
         self._by_job[job_id] = reservation
         bisect.insort(self._end_times, end)
+        width = len(node_tuple)
+        self._shift_delta(start, width)
+        self._shift_delta(end, -width)
+        self._invalidate()
         return reservation
 
     def release(self, job_id: int) -> Reservation:
@@ -202,11 +274,17 @@ class ReservationLedger:
         if reservation is None:
             raise KeyError(f"job {job_id} has no reservation")
         for node in reservation.nodes:
-            idx = self._find_entry(node, job_id)
+            idx = self._find_entry(node, job_id, reservation.start)
             del self._starts[node][idx]
             del self._ends[node][idx]
             del self._jobs[node][idx]
+            del self._pmax_ends[node][idx]
+            self._refresh_pmax(node, idx)
         self._remove_end_time(reservation.end)
+        width = len(reservation.nodes)
+        self._shift_delta(reservation.start, -width)
+        self._shift_delta(reservation.end, width)
+        self._invalidate()
         return reservation
 
     def truncate(self, job_id: int, new_end: float) -> Reservation:
@@ -225,14 +303,7 @@ class ReservationLedger:
                 f"job {job_id}: truncation to {new_end} precedes start "
                 f"{reservation.start}"
             )
-        for node in reservation.nodes:
-            idx = self._find_entry(node, job_id)
-            self._ends[node][idx] = new_end
-        self._remove_end_time(reservation.end)
-        bisect.insort(self._end_times, new_end)
-        updated = Reservation(job_id, reservation.nodes, reservation.start, new_end)
-        self._by_job[job_id] = updated
-        return updated
+        return self._resize(reservation, new_end)
 
     def extend(self, job_id: int, new_end: float) -> Reservation:
         """Grow a booking's end (start delayed by repair, overrun).
@@ -246,11 +317,21 @@ class ReservationLedger:
             raise KeyError(f"job {job_id} has no reservation")
         if new_end <= reservation.end:
             return reservation
+        return self._resize(reservation, new_end)
+
+    def _resize(self, reservation: Reservation, new_end: float) -> Reservation:
+        """Shared tail of truncate/extend: move ``end`` to ``new_end``."""
+        job_id = reservation.job_id
         for node in reservation.nodes:
-            idx = self._find_entry(node, job_id)
+            idx = self._find_entry(node, job_id, reservation.start)
             self._ends[node][idx] = new_end
+            self._refresh_pmax(node, idx)
         self._remove_end_time(reservation.end)
         bisect.insort(self._end_times, new_end)
+        width = len(reservation.nodes)
+        self._shift_delta(reservation.end, width)
+        self._shift_delta(new_end, -width)
+        self._invalidate()
         updated = Reservation(job_id, reservation.nodes, reservation.start, new_end)
         self._by_job[job_id] = updated
         return updated
@@ -259,23 +340,37 @@ class ReservationLedger:
     # Queries
     # ------------------------------------------------------------------
     def node_free(self, node: int, start: float, end: float) -> bool:
-        """True if ``node`` has no booking overlapping ``[start, end)``."""
+        """True if ``node`` has no booking overlapping ``[start, end)``.
+
+        An interval overlaps iff it starts before ``end`` and ends after
+        ``start``; the prefix maximum over ends of all intervals starting
+        before ``end`` answers "does any end exceed ``start``" in O(1)
+        after one bisection.
+        """
         self._check_node(node)
-        starts = self._starts[node]
-        ends = self._ends[node]
-        # Intervals are sorted by start; any interval starting at or after
-        # ``end`` cannot overlap.  Ends are *not* guaranteed sorted once
-        # extend() has been used, so every predecessor must be checked.
-        # Lists stay short because completed jobs release their bookings.
-        idx = bisect.bisect_left(starts, end)
-        for k in range(idx - 1, -1, -1):
-            if ends[k] > start:
-                return False
-        return True
+        idx = bisect.bisect_left(self._starts[node], end)
+        return idx == 0 or self._pmax_ends[node][idx - 1] <= start
 
     def free_nodes(self, start: float, end: float) -> List[int]:
-        """All nodes free throughout ``[start, end)``, ascending."""
-        return [n for n in range(self._n) if self.node_free(n, start, end)]
+        """All nodes free throughout ``[start, end)``, ascending.
+
+        Skyline fast path: a window past the last booking end, or one the
+        aggregate profile shows as entirely unbooked, is free on every
+        node — no per-node checks at all.  Otherwise each node costs one
+        bisection (see :meth:`node_free`).
+        """
+        if not self._end_times or start >= self._end_times[-1]:
+            return list(range(self._n))
+        if self.profile().max_usage(start, end) == 0:
+            return list(range(self._n))
+        starts = self._starts
+        pmax = self._pmax_ends
+        result = []
+        for n in range(self._n):
+            idx = bisect.bisect_left(starts[n], end)
+            if idx == 0 or pmax[n][idx - 1] <= start:
+                result.append(n)
+        return result
 
     def busy_jobs_at(self, time: float) -> Set[int]:
         """Ids of jobs whose reservation covers ``time``."""
@@ -336,7 +431,7 @@ class ReservationLedger:
         if duration <= 0:
             raise ValueError(f"duration must be > 0, got {duration}")
 
-        profile = CapacityProfile(self.reservations())
+        profile = self.profile()
         for start in self.candidate_times(earliest):
             if not profile.window_fits(start, start + duration, size, self._n):
                 continue
@@ -367,11 +462,46 @@ class ReservationLedger:
         if not 0 <= node < self._n:
             raise ValueError(f"node {node} out of range [0, {self._n})")
 
-    def _find_entry(self, node: int, job_id: int) -> int:
-        for idx, jid in enumerate(self._jobs[node]):
-            if jid == job_id:
+    def _find_entry(self, node: int, job_id: int, start: float) -> int:
+        """Index of the job's interval on ``node``, via bisection on the
+        reservation's known start (several bookings may share a start only
+        through ``allow_overlap`` restores, hence the short equal-run walk).
+        """
+        starts = self._starts[node]
+        jobs = self._jobs[node]
+        idx = bisect.bisect_left(starts, start)
+        while idx < len(starts) and starts[idx] == start:
+            if jobs[idx] == job_id:
                 return idx
+            idx += 1
         raise KeyError(f"job {job_id} has no interval on node {node}")
+
+    def _refresh_pmax(self, node: int, from_idx: int) -> None:
+        """Recompute the end-time prefix maxima from ``from_idx`` on.
+
+        O(k) in the node's booking count, paid only on mutation; queries
+        between mutations read the prefix in O(1).
+        """
+        ends = self._ends[node]
+        pmax = self._pmax_ends[node]
+        running = pmax[from_idx - 1] if from_idx > 0 else float("-inf")
+        for i in range(from_idx, len(ends)):
+            if ends[i] > running:
+                running = ends[i]
+            pmax[i] = running
+
+    def _shift_delta(self, time: float, change: int) -> None:
+        """Apply a usage delta at ``time``; zero entries are pruned."""
+        value = self._deltas.get(time, 0) + change
+        if value:
+            self._deltas[time] = value
+        else:
+            self._deltas.pop(time, None)
+
+    def _invalidate(self) -> None:
+        """Bump the mutation generation; caches rebuild lazily."""
+        self._version += 1
+        self._sorted = None
 
     def _remove_end_time(self, end: float) -> None:
         idx = bisect.bisect_left(self._end_times, end)

@@ -24,11 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.cluster.reservations import (
-    CapacityProfile,
-    NodeScorer,
-    ReservationLedger,
-)
+from repro.cluster.reservations import NodeScorer, ReservationLedger
 from repro.cluster.topology import Topology
 from repro.core.guarantee import DeadlineOffer, QoSGuarantee
 from repro.core.users import UserModel
@@ -127,9 +123,9 @@ class Negotiator:
         last_start = earliest
         # Capacity prefilter: reject candidates that cannot possibly have
         # enough simultaneously free nodes without per-node scans.  The
-        # ledger is not mutated during one dialogue, so one snapshot serves
-        # the whole enumeration.
-        profile = CapacityProfile(self._ledger.reservations())
+        # ledger is not mutated during one dialogue, so its cached profile
+        # serves the whole enumeration.
+        profile = self._ledger.profile()
         total = self._ledger.node_count
         for start in self._ledger.candidate_times(earliest):
             last_start = start

@@ -28,11 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.cluster.reservations import (
-    CapacityProfile,
-    NodeScorer,
-    ReservationLedger,
-)
+from repro.cluster.reservations import NodeScorer, ReservationLedger
 from repro.cluster.topology import Topology
 from repro.core.negotiation import NegotiationOutcome, Negotiator
 from repro.core.users import UserModel
@@ -109,7 +105,7 @@ class ConservativeBackfillScheduler:
         fault-aware: among free nodes at the chosen time the lowest
         predicted-failure partition is taken.
         """
-        profile = CapacityProfile(self._ledger.reservations())
+        profile = self._ledger.profile()
         total = self._ledger.node_count
         for start in self._ledger.candidate_times(now):
             if not profile.window_fits(

@@ -52,6 +52,7 @@ class EventLoop:
         self._now = float(start_time)
         self._heap: List[tuple] = []
         self._seq = 0
+        self._live = 0
         self._handlers: Dict[EventKind, Handler] = {}
         self._processed = 0
         self._running = False
@@ -72,14 +73,26 @@ class EventLoop:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained on schedule/cancel/dispatch, instead of
+        a scan over the heap.
+        """
+        return self._live
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or None if the queue is empty."""
-        for _, ev in sorted(self._heap):
-            if not ev.cancelled:
-                return ev.time
+        """Timestamp of the next live event, or None if the queue is empty.
+
+        Pops cancelled events off the heap head as a side effect, so the
+        cost of lazy cancellation is paid once per cancelled event rather
+        than on every peek; a peek with a live head is O(1).
+        """
+        while self._heap:
+            _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event.time
         return None
 
     # ------------------------------------------------------------------
@@ -111,7 +124,9 @@ class EventLoop:
                 f"cannot schedule {kind.value} at t={time} before now={self._now}"
             )
         event = Event(time=float(time), kind=kind, payload=dict(payload), seq=self._seq)
+        event.on_cancel = self._on_cancel
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, (event.sort_key(), event))
         return event
 
@@ -134,6 +149,9 @@ class EventLoop:
             _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            # Off the heap: a late cancel() must not touch the live count.
+            event.on_cancel = None
+            self._live -= 1
             self._now = event.time
             handler = self._handlers.get(event.kind)
             if handler is None:
@@ -163,7 +181,7 @@ class EventLoop:
             while not self._stopped:
                 if max_events is not None and dispatched >= max_events:
                     break
-                next_time = self._peek_live_time()
+                next_time = self.peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
@@ -178,12 +196,6 @@ class EventLoop:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _peek_live_time(self) -> Optional[float]:
-        """Drop cancelled heads, return next live event time (no dispatch)."""
-        while self._heap:
-            key, event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            return event.time
-        return None
+    def _on_cancel(self) -> None:
+        """Event.cancel() hook: keep the live-event counter exact."""
+        self._live -= 1

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 
 class EventKind(enum.Enum):
@@ -97,10 +97,19 @@ class Event:
     payload: Dict[str, Any] = field(default_factory=dict)
     seq: int = 0
     cancelled: bool = False
+    #: Set by the owning loop so it can keep an O(1) live-event count;
+    #: cleared once the event leaves the heap.  Not part of the public API.
+    on_cancel: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the loop discards it instead of dispatching."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
     def sort_key(self) -> tuple:
         """Total ordering key: (time, per-kind tie-break, insertion order)."""

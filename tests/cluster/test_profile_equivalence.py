@@ -1,0 +1,149 @@
+"""Equivalence of the incremental ledger against the frozen seed ledger.
+
+The optimisation contract is *bit-identical behaviour*: under any legal
+mix of ``reserve``/``release``/``truncate``/``extend`` (including the
+sanctioned ``allow_overlap`` restores that make per-node end times
+unsorted), the incremental ledger must
+
+* report the same ``max_usage`` skyline as a from-scratch
+  :class:`CapacityProfile` rebuild,
+* answer ``node_free``/``free_nodes``/``candidate_times`` identically, and
+* return byte-identical ``find_slot`` results,
+
+at every step.  The driver below replays a seeded random mutation stream
+into both ledgers side by side and cross-checks after each op; with
+``NUM_SEQUENCES`` independent sequences this covers >10k mutations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.reference import SeedReservationLedger
+from repro.cluster.reservations import CapacityProfile, ReservationLedger
+
+#: Independent random mutation sequences (acceptance floor: 1000).
+NUM_SEQUENCES = 1000
+#: Mutations per sequence.
+OPS_PER_SEQUENCE = 12
+NODES = 12
+
+
+def _probe_windows(rng, ledger):
+    """Windows to cross-check: random plus boundary-aligned ones."""
+    horizon = 1.0
+    reservations = ledger.reservations()
+    windows = []
+    for r in reservations[:4]:
+        windows.append((r.start, r.end))
+        windows.append((r.start - 0.5, r.end + 0.5))
+        horizon = max(horizon, r.end)
+    for _ in range(3):
+        a = rng.uniform(0.0, horizon * 1.1)
+        windows.append((a, a + rng.uniform(0.1, horizon)))
+    return windows
+
+
+def _check_equivalence(rng, fast: ReservationLedger, seed: SeedReservationLedger):
+    assert fast.reservations() == seed.reservations()
+    assert fast.candidate_times(0.0) == seed.candidate_times(0.0)
+
+    rebuilt = CapacityProfile(fast.reservations())
+    incremental = fast.profile()
+    for start, end in _probe_windows(rng, fast):
+        assert incremental.max_usage(start, end) == rebuilt.max_usage(start, end)
+        assert fast.free_nodes(start, end) == seed.free_nodes(start, end)
+
+    size = rng.randint(1, NODES)
+    duration = rng.uniform(1.0, 400.0)
+    earliest = rng.uniform(0.0, 600.0)
+    assert fast.find_slot(size, duration, earliest) == seed.find_slot(
+        size, duration, earliest
+    )
+
+
+def _apply_random_op(rng, fast, seed, next_id):
+    """One random mutation, mirrored into both ledgers; returns new id."""
+    live = sorted(fast._by_job)
+    op = rng.random()
+    if not live or op < 0.45:
+        size = rng.randint(1, NODES // 2)
+        duration = rng.uniform(10.0, 300.0)
+        earliest = rng.uniform(0.0, 500.0)
+        start, nodes = fast.find_slot(size, duration, earliest)
+        fast.reserve(next_id, nodes, start, start + duration)
+        seed.reserve(next_id, nodes, start, start + duration)
+        return next_id + 1
+    job_id = rng.choice(live)
+    booking = fast.get(job_id)
+    if op < 0.60:
+        fast.release(job_id)
+        seed.release(job_id)
+    elif op < 0.75:
+        new_end = rng.uniform(booking.start, booking.end + 50.0)
+        if new_end <= booking.start:
+            new_end = booking.start + 1.0
+        fast.truncate(job_id, new_end)
+        seed.truncate(job_id, new_end)
+    elif op < 0.90:
+        new_end = booking.end + rng.uniform(0.0, 120.0)
+        fast.extend(job_id, new_end)
+        seed.extend(job_id, new_end)
+    else:
+        # Release/restore with allow_overlap after extending a neighbour:
+        # exercises overlapping bookings and unsorted per-node end times.
+        other = rng.choice(live)
+        if other != job_id:
+            fast.extend(other, fast.get(other).end + 90.0)
+            seed.extend(other, seed.get(other).end + 90.0)
+        fast.release(job_id)
+        seed.release(job_id)
+        fast.reserve(
+            job_id, booking.nodes, booking.start, booking.end, allow_overlap=True
+        )
+        seed.reserve(
+            job_id, booking.nodes, booking.start, booking.end, allow_overlap=True
+        )
+    return next_id
+
+
+@pytest.mark.parametrize("chunk", range(4))
+def test_incremental_profile_matches_seed_ledger(chunk):
+    per_chunk = NUM_SEQUENCES // 4
+    for sequence in range(per_chunk):
+        rng = random.Random(chunk * per_chunk + sequence)
+        fast = ReservationLedger(NODES)
+        seed = SeedReservationLedger(NODES)
+        next_id = 1
+        for _ in range(OPS_PER_SEQUENCE):
+            next_id = _apply_random_op(rng, fast, seed, next_id)
+            _check_equivalence(rng, fast, seed)
+
+
+def test_profile_is_cached_between_mutations():
+    ledger = ReservationLedger(8)
+    ledger.reserve(1, [0, 1], 10.0, 20.0)
+    first = ledger.profile()
+    assert ledger.profile() is first  # O(1) fast path: same object
+    ledger.reserve(2, [2], 5.0, 15.0)
+    second = ledger.profile()
+    assert second is not first  # mutation invalidated the cache
+    assert second.max_usage(10.0, 15.0) == 3
+
+
+def test_find_slot_with_scorer_matches_seed():
+    scorer = lambda node, start, end: (node * 7919) % 13
+    rng = random.Random(42)
+    fast = ReservationLedger(NODES)
+    seed = SeedReservationLedger(NODES)
+    for job_id in range(1, 30):
+        size = rng.randint(1, NODES // 2)
+        duration = rng.uniform(10.0, 300.0)
+        earliest = rng.uniform(0.0, 500.0)
+        got = fast.find_slot(size, duration, earliest, scorer=scorer)
+        assert got == seed.find_slot(size, duration, earliest, scorer=scorer)
+        start, nodes = got
+        fast.reserve(job_id, nodes, start, start + duration)
+        seed.reserve(job_id, nodes, start, start + duration)

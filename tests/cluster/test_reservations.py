@@ -295,3 +295,69 @@ class TestLedgerInvariants:
                 break
             free = ledger.free_nodes(candidate, candidate + duration)
             assert len(free) < size
+
+
+class TestIncrementalCaches:
+    """The ledger's cached views stay exact across the whole mutation API."""
+
+    def test_reservations_returns_independent_copy(self, ledger):
+        ledger.reserve(1, [0], 10.0, 20.0)
+        view = ledger.reservations()
+        view.clear()
+        assert [r.job_id for r in ledger.reservations()] == [1]
+
+    def test_reservations_cached_between_mutations(self, ledger):
+        ledger.reserve(1, [0], 10.0, 20.0)
+        ledger.reservations()
+        assert ledger._sorted is not None
+        ledger.truncate(1, 15.0)
+        assert ledger._sorted is None  # mutation invalidated the view
+        assert ledger.reservations()[0].end == 15.0
+
+    def test_profile_tracks_every_mutation_kind(self, ledger):
+        ledger.reserve(1, [0, 1, 2], 10.0, 20.0)
+        assert ledger.profile().max_usage(10.0, 20.0) == 3
+        ledger.truncate(1, 15.0)
+        assert ledger.profile().max_usage(15.0, 20.0) == 0
+        ledger.extend(1, 30.0)
+        assert ledger.profile().max_usage(25.0, 30.0) == 3
+        ledger.release(1)
+        assert ledger.profile().max_usage(0.0, 100.0) == 0
+        assert ledger._deltas == {}
+
+    def test_profile_counts_sanctioned_overlaps_twice(self, ledger):
+        # An allow_overlap restore and its extended neighbour both book the
+        # node; the aggregate skyline counts both, exactly like a
+        # from-scratch rebuild over the same reservation list.
+        ledger.reserve(1, [0], 10.0, 20.0)
+        ledger.extend(1, 40.0)
+        ledger.reserve(2, [0], 30.0, 50.0, allow_overlap=True)
+        assert ledger.profile().max_usage(30.0, 40.0) == 2
+        rebuilt = CapacityProfile(ledger.reservations())
+        assert rebuilt.max_usage(30.0, 40.0) == 2
+
+    def test_node_free_after_extend_unsorted_ends(self, ledger):
+        # Job 1 extends past job 2's start: per-node ends become unsorted
+        # and the prefix-max path must still see the overlap.
+        ledger.reserve(1, [0], 0.0, 10.0)
+        ledger.reserve(2, [0], 20.0, 30.0)
+        ledger.extend(1, 25.0)
+        assert not ledger.node_free(0, 12.0, 15.0)
+        assert not ledger.node_free(0, 27.0, 29.0)
+        assert ledger.node_free(0, 30.0, 40.0)
+
+    def test_free_nodes_past_horizon_fast_path(self, ledger):
+        ledger.reserve(1, list(range(8)), 0.0, 100.0)
+        assert ledger.free_nodes(100.0, 200.0) == list(range(8))
+        assert ledger.free_nodes(500.0, 600.0) == list(range(8))
+
+    def test_find_entry_with_shared_start_times(self, ledger):
+        # Two jobs on the same node with the same start (allow_overlap
+        # restore): release must remove exactly the right interval.
+        ledger.reserve(1, [0], 10.0, 20.0)
+        ledger.reserve(2, [0], 10.0, 30.0, allow_overlap=True)
+        ledger.release(1)
+        assert 2 in ledger and 1 not in ledger
+        assert not ledger.node_free(0, 25.0, 28.0)
+        ledger.release(2)
+        assert ledger.free_nodes(0.0, 100.0) == list(range(8))

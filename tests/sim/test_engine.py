@@ -209,3 +209,65 @@ class TestDeterminism:
             loop.run()
             histories.append([(t, k.value, tuple(sorted(p))) for t, k, p in log])
         assert histories[0] == histories[1]
+
+
+class TestQueueIntrospectionFastPaths:
+    """peek_time / pending_events are O(1)-amortized; verify exactness."""
+
+    def test_peek_time_skips_cancelled_head(self):
+        loop, _ = make_loop_with_log()
+        first = loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(2.0, EventKind.WAKEUP)
+        first.cancel()
+        assert loop.peek_time() == 2.0
+
+    def test_peek_time_compacts_cancelled_events(self):
+        loop, _ = make_loop_with_log()
+        events = [loop.schedule(float(t), EventKind.WAKEUP) for t in range(5)]
+        for event in events[:4]:
+            event.cancel()
+        assert loop.peek_time() == 4.0
+        # The cancelled prefix was physically removed from the heap.
+        assert len(loop._heap) == 1
+
+    def test_peek_time_does_not_advance_clock_or_dispatch(self):
+        loop, log = make_loop_with_log()
+        loop.schedule(7.0, EventKind.WAKEUP)
+        assert loop.peek_time() == 7.0
+        assert loop.now == 0.0
+        assert log == []
+
+    def test_pending_events_tracks_schedule_cancel_dispatch(self):
+        loop, _ = make_loop_with_log()
+        events = [loop.schedule(float(t), EventKind.WAKEUP) for t in range(1, 4)]
+        assert loop.pending_events == 3
+        events[1].cancel()
+        assert loop.pending_events == 2
+        loop.step()
+        assert loop.pending_events == 1
+        loop.run()
+        assert loop.pending_events == 0
+
+    def test_double_cancel_decrements_once(self):
+        loop, _ = make_loop_with_log()
+        event = loop.schedule(1.0, EventKind.WAKEUP)
+        event.cancel()
+        event.cancel()
+        assert loop.pending_events == 0
+
+    def test_cancel_after_dispatch_is_harmless(self):
+        loop, _ = make_loop_with_log()
+        event = loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(2.0, EventKind.WAKEUP)
+        loop.step()
+        event.cancel()  # already dispatched; count must not go stale
+        assert loop.pending_events == 1
+
+    def test_run_after_peek_dispatches_everything(self):
+        loop, log = make_loop_with_log()
+        doomed = loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(2.0, EventKind.WAKEUP)
+        doomed.cancel()
+        assert loop.peek_time() == 2.0
+        assert loop.run() == 1
+        assert [t for t, _, _ in log] == [2.0]

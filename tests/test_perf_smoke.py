@@ -1,0 +1,52 @@
+"""Keeps the perf harness from bit-rotting: run it at smoke scale.
+
+The real benchmarks (``benchmarks/perf/``, marker ``perf``) are excluded
+from tier-1; this test only asserts the harness runs end to end and emits
+a well-formed ``BENCH_ledger.json`` — no timing assertions, so it stays
+immune to CI noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_perf_harness_smoke(tmp_path):
+    out = tmp_path / "BENCH_ledger.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "perf" / "run.py"),
+            "--smoke",
+            "--repeats",
+            "1",
+            "--out",
+            str(out),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+    report = json.loads(out.read_text())
+    assert report["schema"] == 1
+    assert report["preset"] == "smoke"
+    scenarios = report["scenarios"]
+    for name in ("find_slot_deep_queue", "negotiation_dialogue"):
+        data = scenarios[name]
+        assert data["answers_identical"]
+        assert data["current"]["median_s"] > 0
+        assert data["seed"]["median_s"] > 0
+        assert data["speedup"] > 0
+        assert len(data["current"]["samples_s"]) == 1
