@@ -44,6 +44,7 @@ from repro.core.system import simulate
 from repro.core.users import RiskThresholdUser
 from repro.experiments.config import ExperimentSetup
 from repro.experiments.runner import ExperimentContext
+from repro.obs.registry import MetricsRegistry
 from repro.prediction.trace import TracePredictor
 from repro.failures.generator import FailureModelSpec, generate_failure_trace
 
@@ -56,16 +57,26 @@ PRESETS: Dict[str, Dict[str, int]] = {
     "smoke": dict(nodes=32, bookings=40, queries=15, dialogue_jobs=8, nasa_jobs=0),
 }
 
-SCHEMA_VERSION = 1
+#: Schema 2 added the per-scenario ``obs`` block: counter totals from one
+#: instrumented (non-timed) rerun, so a perf diff can tell *why* a number
+#: moved — probe counts, cache hit rates, dialogue depths — not just that
+#: it did.  Timed runs stay uninstrumented.
+SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
 # Scenario construction (deterministic: everything flows from `seed`)
 # ----------------------------------------------------------------------
-def build_deep_ledger(ledger_cls, nodes: int, bookings: int, seed: int):
+def build_deep_ledger(
+    ledger_cls, nodes: int, bookings: int, seed: int, registry=None
+):
     """A realistic deep queue: jobs packed by find_slot itself."""
     rng = random.Random(seed)
-    ledger = ledger_cls(nodes)
+    # The frozen seed ledger predates the obs layer and keeps its
+    # single-argument constructor; only the current class takes a registry.
+    ledger = ledger_cls(nodes) if registry is None else ledger_cls(
+        nodes, registry=registry
+    )
     clock = 0.0
     for job_id in range(1, bookings + 1):
         size = rng.randint(1, max(1, nodes // 2))
@@ -99,7 +110,9 @@ def run_find_slot_queries(ledger, queries) -> List[Tuple[float, List[int]]]:
     return [ledger.find_slot(size, dur, t0) for size, dur, t0 in queries]
 
 
-def run_dialogues(ledger, nodes: int, jobs: int, seed: int) -> List[Tuple]:
+def run_dialogues(
+    ledger, nodes: int, jobs: int, seed: int, registry=None
+) -> List[Tuple]:
     """Negotiate and book `jobs` submissions back to back."""
     rng = random.Random(seed + 2)
     horizon = 60.0 * 86400.0
@@ -108,7 +121,9 @@ def run_dialogues(ledger, nodes: int, jobs: int, seed: int) -> List[Tuple]:
     )
     predictor = TracePredictor(failures, accuracy=0.7, seed=seed)
     user = RiskThresholdUser(0.9)
-    negotiator = Negotiator(ledger, FlatTopology(nodes), predictor, scorer=None)
+    negotiator = Negotiator(
+        ledger, FlatTopology(nodes), predictor, scorer=None, registry=registry
+    )
     outcomes = []
     clock = 0.0
     for job_id in range(10_000, 10_000 + jobs):
@@ -122,12 +137,12 @@ def run_dialogues(ledger, nodes: int, jobs: int, seed: int) -> List[Tuple]:
     return outcomes
 
 
-def run_nasa_point(jobs: int, seed: int):
+def run_nasa_point(jobs: int, seed: int, registry=None):
     """One end-to-end (a=0.7, U=0.5) NASA simulation point."""
     setup = ExperimentSetup(workload="nasa", job_count=jobs, seed=seed)
     context = ExperimentContext.prepare(setup)
     config = context.config(accuracy=0.7, user_threshold=0.5)
-    return simulate(config, context.log, context.failures)
+    return simulate(config, context.log, context.failures, registry=registry)
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +166,11 @@ def _entry(samples: List[float]) -> Dict[str, object]:
     }
 
 
+def _obs_counters(registry: MetricsRegistry) -> Dict[str, float]:
+    """Counter totals from an instrumented rerun (never a timed run)."""
+    return registry.snapshot()["counters"]
+
+
 def bench_find_slot(params: Dict[str, int], seed: int, repeats: int) -> Dict:
     nodes, bookings, queries = params["nodes"], params["bookings"], params["queries"]
     current = build_deep_ledger(ReservationLedger, nodes, bookings, seed)
@@ -168,6 +188,13 @@ def bench_find_slot(params: Dict[str, int], seed: int, repeats: int) -> Dict:
     if cur_answers != seed_answers:
         raise AssertionError("find_slot answers diverge from the seed ledger")
 
+    # One instrumented rerun, outside the timing loop, for the obs block.
+    registry = MetricsRegistry()
+    instrumented = build_deep_ledger(
+        ReservationLedger, nodes, bookings, seed, registry=registry
+    )
+    run_find_slot_queries(instrumented, batch)
+
     cur_med, seed_med = statistics.median(cur_samples), statistics.median(seed_samples)
     return {
         "description": "batch of find_slot probes against a deep static queue",
@@ -176,6 +203,7 @@ def bench_find_slot(params: Dict[str, int], seed: int, repeats: int) -> Dict:
         "seed": _entry(seed_samples),
         "speedup": seed_med / cur_med if cur_med > 0 else float("inf"),
         "answers_identical": True,
+        "obs": _obs_counters(registry),
     }
 
 
@@ -196,6 +224,12 @@ def bench_negotiation(params: Dict[str, int], seed: int, repeats: int) -> Dict:
     if cur_out != seed_out:
         raise AssertionError("negotiation outcomes diverge from the seed ledger")
 
+    registry = MetricsRegistry()
+    instrumented = build_deep_ledger(
+        ReservationLedger, nodes, bookings, seed, registry=registry
+    )
+    run_dialogues(instrumented, nodes, jobs, seed, registry=registry)
+
     cur_med, seed_med = statistics.median(cur_samples), statistics.median(seed_samples)
     return {
         "description": "full submission dialogues (offers + bookings) vs a picky user",
@@ -204,6 +238,7 @@ def bench_negotiation(params: Dict[str, int], seed: int, repeats: int) -> Dict:
         "seed": _entry(seed_samples),
         "speedup": seed_med / cur_med if cur_med > 0 else float("inf"),
         "answers_identical": True,
+        "obs": _obs_counters(registry),
     }
 
 
@@ -226,6 +261,11 @@ def bench_nasa(params: Dict[str, int], seed: int, repeats: int) -> Optional[Dict
     if cur_result.metrics != seed_result.metrics:
         raise AssertionError("end-to-end metrics diverge from the seed ledger")
 
+    registry = MetricsRegistry()
+    obs_result = run_nasa_point(jobs, seed, registry=registry)
+    if obs_result.metrics != cur_result.metrics:
+        raise AssertionError("instrumented run changed the simulated metrics")
+
     cur_med, seed_med = statistics.median(cur_samples), statistics.median(seed_samples)
     return {
         "description": "end-to-end NASA replication point (a=0.7, U=0.5)",
@@ -234,6 +274,7 @@ def bench_nasa(params: Dict[str, int], seed: int, repeats: int) -> Optional[Dict
         "seed": _entry(seed_samples),
         "speedup": seed_med / cur_med if cur_med > 0 else float("inf"),
         "metrics_identical": True,
+        "obs": _obs_counters(registry),
     }
 
 

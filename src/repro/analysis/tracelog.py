@@ -71,6 +71,11 @@ class TraceRecorder:
         self._stream = stream
         self._keep = keep_in_memory
         self._records: List[TraceRecord] = []
+        # Indexes maintained in record() so the post-run queries below are
+        # O(result) instead of O(trace) — a gantt render walks the per-kind
+        # lists dozens of times over traces with tens of thousands of rows.
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
+        self._by_job: Dict[int, List[TraceRecord]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -91,6 +96,9 @@ class TraceRecorder:
         )
         if self._keep:
             self._records.append(record)
+            self._by_kind.setdefault(kind, []).append(record)
+            if job_id is not None:
+                self._by_job.setdefault(job_id, []).append(record)
         if self._stream is not None:
             self._stream.write(record.to_json() + "\n")
 
@@ -111,18 +119,15 @@ class TraceRecorder:
         """All records of one kind, in time order."""
         if kind not in RECORD_KINDS:
             raise ValueError(f"unknown trace record kind {kind!r}")
-        return [r for r in self._records if r.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def for_job(self, job_id: int) -> List[TraceRecord]:
         """A job's full life story, in time order."""
-        return [r for r in self._records if r.job_id == job_id]
+        return list(self._by_job.get(job_id, ()))
 
     def counts(self) -> Dict[str, int]:
         """Record count per kind (only kinds that occurred)."""
-        result: Dict[str, int] = {}
-        for record in self._records:
-            result[record.kind] = result.get(record.kind, 0) + 1
-        return result
+        return {kind: len(rows) for kind, rows in self._by_kind.items()}
 
 
 class NullRecorder(TraceRecorder):
@@ -135,18 +140,31 @@ class NullRecorder(TraceRecorder):
         return
 
 
-def load_jsonl(lines: Iterable[str]) -> List[TraceRecord]:
-    """Parse JSONL lines back into records (inverse of streaming)."""
+def load_jsonl(lines: Iterable[str], strict: bool = True) -> List[TraceRecord]:
+    """Parse JSONL lines back into records (inverse of streaming).
+
+    Kinds are validated against :data:`RECORD_KINDS` just as :meth:`record`
+    validates them on the way in — a trace written by a newer (or corrupted)
+    build should fail loudly here, not at the end of whatever analysis
+    consumed it.  Pass ``strict=False`` to keep unknown-kind rows anyway,
+    e.g. to salvage what a mixed-version trace still contains.
+    """
     records = []
-    for line in lines:
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         data = json.loads(line)
+        kind = data["kind"]
+        if strict and kind not in RECORD_KINDS:
+            raise ValueError(
+                f"line {lineno}: unknown trace record kind {kind!r} "
+                "(pass strict=False to keep it)"
+            )
         records.append(
             TraceRecord(
                 time=data["time"],
-                kind=data["kind"],
+                kind=kind,
                 job_id=data.get("job_id"),
                 node=data.get("node"),
                 detail=data.get("detail", {}),

@@ -11,6 +11,8 @@ Examples::
     probqos report --jobs 2000 --figures 1 5 8
     probqos gantt --workload nasa --nodes 16 --width 72
     probqos export bundles/sdsc-seed7 --workload sdsc --jobs 10000
+    probqos run --workload nasa --obs obs.json --obs-interval 1800
+    probqos obs summarize obs.json
 """
 
 from __future__ import annotations
@@ -44,10 +46,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate a paper figure (1-12)")
     fig.add_argument("number", type=int, help="figure number, 1-12")
     _add_env_args(fig)
+    _add_obs_args(fig)
 
     tab = sub.add_parser("table", help="regenerate a paper table (1-2)")
     tab.add_argument("number", type=int, help="table number, 1 or 2")
     _add_env_args(tab)
+    _add_obs_args(tab)
 
     run = sub.add_parser("run", help="simulate one (a, U) point")
     run.add_argument("--accuracy", "-a", type=float, default=0.5)
@@ -56,6 +60,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--placement", default="fault-aware")
     run.add_argument("--topology", default="flat")
     _add_env_args(run)
+    _add_obs_args(run)
+    run.add_argument(
+        "--obs-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sim-seconds between registry samples "
+        "(default 3600 when --obs is set)",
+    )
+
+    obs = sub.add_parser("obs", help="inspect observability reports")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summarize = obs_sub.add_parser(
+        "summarize", help="render an --obs report as text"
+    )
+    obs_summarize.add_argument("path", help="report written by --obs PATH")
 
     head = sub.add_parser("headline", help="no-prediction vs perfect endpoints")
     _add_env_args(head)
@@ -105,21 +125,61 @@ def _add_env_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs",
+        metavar="PATH",
+        default=None,
+        help="instrument the simulation(s) and write an observability "
+        "report (JSON) to PATH",
+    )
+
+
+def _write_obs_report(args: argparse.Namespace, registry, sampler=None) -> None:
+    from repro.obs.export import write_report
+
+    meta = {
+        "command": args.command,
+        "workload": getattr(args, "workload", None),
+        "jobs": getattr(args, "jobs", None),
+        "seed": getattr(args, "seed", None),
+    }
+    for key in ("accuracy", "user_threshold", "policy", "placement", "number"):
+        if getattr(args, key, None) is not None:
+            meta[key] = getattr(args, key)
+    report = write_report(args.obs, registry, sampler=sampler, meta=meta)
+    print(
+        f"\nobservability report written to {args.obs}: "
+        f"{len(report['metric_names'])} metrics across "
+        f"{len(report['layers'])} layers"
+    )
+
+
 def _setup(args: argparse.Namespace) -> ExperimentSetup:
     seed = args.seed if args.seed is not None else bench_seed()
     return ExperimentSetup(workload=args.workload, job_count=args.jobs, seed=seed)
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    registry = None
+    if args.obs:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
     catalog = FigureCatalog()
     workloads = (
         ("sdsc", "nasa") if args.number == 8 else (_figure_workload(args.number),)
     )
     for name in workloads:
         catalog._contexts[name] = ExperimentContext.prepare(
-            ExperimentSetup(workload=name, job_count=args.jobs, seed=_setup(args).seed)
+            ExperimentSetup(
+                workload=name, job_count=args.jobs, seed=_setup(args).seed
+            ),
+            registry=registry,
         )
     print(format_figure(catalog.figure(args.number)))
+    if registry is not None:
+        _write_obs_report(args, registry)
     return 0
 
 
@@ -131,23 +191,46 @@ def _figure_workload(number: int) -> str:
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == 1:
         print(format_table1(table_1(seed=_setup(args).seed, job_count=args.jobs)))
-        return 0
-    if args.number == 2:
+    elif args.number == 2:
         print(format_pairs("Table 2: Simulation parameters", table_2()))
-        return 0
-    print(f"the paper has tables 1 and 2; got {args.number}", file=sys.stderr)
-    return 2
+    else:
+        print(f"the paper has tables 1 and 2; got {args.number}", file=sys.stderr)
+        return 2
+    if args.obs:
+        # Tables run no simulations; the report still round-trips so
+        # batch pipelines can treat every subcommand uniformly.
+        from repro.obs.registry import MetricsRegistry
+
+        _write_obs_report(args, MetricsRegistry())
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     ctx = ExperimentContext.prepare(_setup(args))
-    metrics = ctx.run_point(
-        args.accuracy,
-        args.user_threshold,
-        checkpoint_policy=args.policy,
-        placement=args.placement,
-        topology=args.topology,
-    )
+    registry = sampler = None
+    if args.obs:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        interval = args.obs_interval if args.obs_interval is not None else 3600.0
+        result, sampler = ctx.run_instrumented(
+            args.accuracy,
+            args.user_threshold,
+            registry,
+            sample_interval=interval,
+            checkpoint_policy=args.policy,
+            placement=args.placement,
+            topology=args.topology,
+        )
+        metrics = result.metrics
+    else:
+        metrics = ctx.run_point(
+            args.accuracy,
+            args.user_threshold,
+            checkpoint_policy=args.policy,
+            placement=args.placement,
+            topology=args.topology,
+        )
     pairs = [
         ("QoS", f"{metrics.qos:.4f}"),
         ("Avg utilization", f"{metrics.utilization:.4f}"),
@@ -170,6 +253,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             pairs,
         )
     )
+    if registry is not None:
+        _write_obs_report(args, registry, sampler=sampler)
     return 0
 
 
@@ -267,6 +352,20 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_report, summarize
+
+    if args.obs_command == "summarize":
+        try:
+            report = load_report(args.path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read obs report: {exc}", file=sys.stderr)
+            return 2
+        print(summarize(report))
+        return 0
+    return 2
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -291,6 +390,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "gantt": _cmd_gantt,
         "report": _cmd_report,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

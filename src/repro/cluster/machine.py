@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster.node import Node, NodeState
 from repro.cluster.reservations import ReservationLedger
+from repro.obs.registry import MetricsRegistry
 
 
 class Cluster:
@@ -21,16 +22,28 @@ class Cluster:
         node_count: Cluster width N (the paper simulates 128).
         downtime: Repair time after a failure, seconds (paper: 120, the
             BG/L node restart time).
+        registry: Optional obs registry forwarded to the hosted ledger.
+            Only passed through when live, so drop-in ledger replacements
+            (e.g. the frozen seed baseline in perf benchmarks) keep their
+            single-argument constructor.
     """
 
-    def __init__(self, node_count: int = 128, downtime: float = 120.0) -> None:
+    def __init__(
+        self,
+        node_count: int = 128,
+        downtime: float = 120.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if node_count < 1:
             raise ValueError(f"node_count must be >= 1, got {node_count}")
         if downtime < 0:
             raise ValueError(f"downtime must be >= 0, got {downtime}")
         self.downtime = float(downtime)
         self._nodes: List[Node] = [Node(index=i) for i in range(node_count)]
-        self.ledger = ReservationLedger(node_count)
+        if registry is not None and registry.enabled:
+            self.ledger = ReservationLedger(node_count, registry=registry)
+        else:
+            self.ledger = ReservationLedger(node_count)
         self._job_nodes: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------

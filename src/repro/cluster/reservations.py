@@ -45,6 +45,8 @@ import bisect
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
 #: Scoring callback: (node, start, end) -> sort key; lower is preferred.
 NodeScorer = Callable[[int, float, float], float]
 
@@ -145,9 +147,15 @@ class ReservationLedger:
 
     Args:
         node_count: Cluster width N; node indexes are ``0..N-1``.
+        registry: Optional obs registry; when live, the ledger records its
+            probe volume, prefilter effectiveness, and profile-cache hit
+            rate under ``cluster.ledger.*`` (see DESIGN.md
+            "Observability").
     """
 
-    def __init__(self, node_count: int) -> None:
+    def __init__(
+        self, node_count: int, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         if node_count < 1:
             raise ValueError(f"node_count must be >= 1, got {node_count}")
         self._n = node_count
@@ -171,6 +179,23 @@ class ReservationLedger:
         self._profile: Optional[CapacityProfile] = None
         self._profile_version = -1
         self._sorted: Optional[List[Reservation]] = None
+        # Observability: instruments bound once; hot paths gate on _obs so
+        # the default null registry costs a single bool test per call.
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._obs = registry.enabled
+        self._c_find_slot = registry.counter("cluster.ledger.find_slot_calls")
+        self._c_probes = registry.counter("cluster.ledger.probes")
+        self._c_prefilter_rejects = registry.counter(
+            "cluster.ledger.prefilter_rejects"
+        )
+        self._c_profile_hits = registry.counter("cluster.ledger.profile_cache_hits")
+        self._c_profile_misses = registry.counter(
+            "cluster.ledger.profile_cache_misses"
+        )
+        self._c_mutations = registry.counter("cluster.ledger.mutations")
+        self._h_probe_depth = registry.histogram("cluster.ledger.probe_depth")
+        self._g_reservations = registry.gauge("cluster.ledger.reservations")
+        self._g_skyline = registry.gauge("cluster.ledger.skyline_size")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -213,6 +238,10 @@ class ReservationLedger:
         if self._profile is None or self._profile_version != self._version:
             self._profile = CapacityProfile.from_deltas(self._deltas)
             self._profile_version = self._version
+            if self._obs:
+                self._c_profile_misses.inc()
+        elif self._obs:
+            self._c_profile_hits.inc()
         return self._profile
 
     # ------------------------------------------------------------------
@@ -431,13 +460,19 @@ class ReservationLedger:
         if duration <= 0:
             raise ValueError(f"duration must be > 0, got {duration}")
 
+        obs = self._obs
+        probes = rejects = 0
         profile = self.profile()
         for start in self.candidate_times(earliest):
+            probes += 1
             if not profile.window_fits(start, start + duration, size, self._n):
+                rejects += 1
                 continue
             free = self.free_nodes(start, start + duration)
             if len(free) >= size:
                 chosen = self._select(free, size, start, start + duration, scorer)
+                if obs:
+                    self._record_find_slot(probes, rejects)
                 return start, chosen
         # Unreachable: the window after the last booking end is always free.
         raise RuntimeError("no feasible slot found past the final booking")
@@ -498,10 +533,21 @@ class ReservationLedger:
         else:
             self._deltas.pop(time, None)
 
+    def _record_find_slot(self, probes: int, rejects: int) -> None:
+        """Fold one find_slot call's local tallies into the registry."""
+        self._c_find_slot.inc()
+        self._c_probes.inc(probes)
+        self._c_prefilter_rejects.inc(rejects)
+        self._h_probe_depth.observe(probes)
+
     def _invalidate(self) -> None:
         """Bump the mutation generation; caches rebuild lazily."""
         self._version += 1
         self._sorted = None
+        if self._obs:
+            self._c_mutations.inc()
+            self._g_reservations.set(len(self._by_job))
+            self._g_skyline.set(len(self._deltas))
 
     def _remove_end_time(self, end: float) -> None:
         idx = bisect.bisect_left(self._end_times, end)

@@ -28,6 +28,7 @@ from repro.cluster.reservations import NodeScorer, ReservationLedger
 from repro.cluster.topology import Topology
 from repro.core.guarantee import DeadlineOffer, QoSGuarantee
 from repro.core.users import UserModel
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.prediction.base import Predictor
 
 #: Seconds added when jumping a candidate start past a predicted failure.
@@ -66,6 +67,9 @@ class Negotiator:
         scorer: Node ranking used to pick partitions; the paper's system
             passes the fault-aware scorer.
         max_offers: Dialogue safety cap.
+        registry: Optional obs registry; when live, every dialogue records
+            its probe depth, offer count, and the rank of the accepted
+            offer under ``negotiation.dialogue.*``.
     """
 
     def __init__(
@@ -75,6 +79,7 @@ class Negotiator:
         predictor: Predictor,
         scorer: Optional[NodeScorer] = None,
         max_offers: int = 400,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_offers < 1:
             raise ValueError(f"max_offers must be >= 1, got {max_offers}")
@@ -83,6 +88,15 @@ class Negotiator:
         self._predictor = predictor
         self._scorer = scorer
         self._max_offers = max_offers
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._obs = registry.enabled
+        self._c_dialogues = registry.counter("negotiation.dialogue.dialogues")
+        self._c_probes = registry.counter("negotiation.dialogue.probes")
+        self._c_forced = registry.counter("negotiation.dialogue.forced")
+        self._h_offers = registry.histogram("negotiation.dialogue.offers_per_job")
+        self._h_accepted_rank = registry.histogram(
+            "negotiation.dialogue.accepted_rank"
+        )
 
     # ------------------------------------------------------------------
     # Offer generation
@@ -121,6 +135,8 @@ class Negotiator:
         """
         produced = 0
         last_start = earliest
+        obs = self._obs
+        probes = self._c_probes
         # Capacity prefilter: reject candidates that cannot possibly have
         # enough simultaneously free nodes without per-node scans.  The
         # ledger is not mutated during one dialogue, so its cached profile
@@ -129,6 +145,8 @@ class Negotiator:
         total = self._ledger.node_count
         for start in self._ledger.candidate_times(earliest):
             last_start = start
+            if obs:
+                probes.inc()
             if not profile.window_fits(start, start + duration, size, total):
                 continue
             offer = self.make_offer(size, duration, start)
@@ -141,6 +159,8 @@ class Negotiator:
         # Past the booking horizon: jump beyond predicted failures.
         start = last_start
         while produced < self._max_offers:
+            if obs:
+                probes.inc()
             offer = self.make_offer(size, duration, start)
             if offer is None:
                 return  # cluster narrower than the job; caller validates
@@ -205,6 +225,16 @@ class Negotiator:
                     f"{size} nodes)"
                 )
             accepted = best  # cap hit: impose the safest offer seen
+
+        if self._obs:
+            self._c_dialogues.inc()
+            self._h_offers.observe(offers_made)
+            if forced:
+                self._c_forced.inc()
+            else:
+                # Rank 1 = first offer accepted (deadline pushed "no
+                # further than necessary" with no pushback at all).
+                self._h_accepted_rank.observe(offers_made)
 
         self._ledger.reserve(job_id, accepted.nodes, accepted.start, accepted.deadline)
         guarantee = QoSGuarantee(

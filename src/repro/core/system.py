@@ -35,6 +35,8 @@ from repro.core.guarantee import QoSGuarantee
 from repro.core.metrics import MetricsCollector, SimulationMetrics
 from repro.core.users import RiskThresholdUser, UserModel
 from repro.failures.events import FailureTrace
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sampler import Sampler
 from repro.prediction.base import Predictor
 from repro.prediction.trace import TracePredictor
 from repro.scheduling.fcfs import ConservativeBackfillScheduler
@@ -131,12 +133,18 @@ class _JobState:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Output of one run: aggregates plus per-job detail."""
+    """Output of one run: aggregates plus per-job detail.
+
+    Attributes:
+        obs: Final observability snapshot (``registry.snapshot()``) when the
+            system ran with a live registry; None otherwise.
+    """
 
     metrics: SimulationMetrics
     config: SystemConfig
     outcomes: list
     events_processed: int
+    obs: Optional[dict] = None
 
 
 class ProbabilisticQoSSystem:
@@ -156,6 +164,16 @@ class ProbabilisticQoSSystem:
         recorder: Optional trace recorder capturing every semantic
             transition (see :mod:`repro.analysis.tracelog`); defaults to a
             zero-cost null recorder.
+        registry: Optional :class:`~repro.obs.registry.MetricsRegistry`;
+            defaults to the shared null registry, which costs one boolean
+            test per instrumented decision point.  A live registry threads
+            through every layer (engine, ledger, scheduler, negotiator,
+            runs, predictor) and the final snapshot rides on
+            :attr:`SimulationResult.obs`.
+        sample_interval: Sim-seconds between registry snapshots; when set
+            (with a live registry) a :class:`~repro.obs.sampler.Sampler`
+            records a time-series via recurring ``OBS_SAMPLE`` events,
+            reachable afterwards as ``system.sampler``.
     """
 
     def __init__(
@@ -166,20 +184,30 @@ class ProbabilisticQoSSystem:
         predictor: Optional[Predictor] = None,
         user: Optional[UserModel] = None,
         recorder: Optional[TraceRecorder] = None,
+        registry: Optional[MetricsRegistry] = None,
+        sample_interval: Optional[float] = None,
     ) -> None:
         self.config = config
         self.workload = workload
         self.failures = failures
+        self.registry: MetricsRegistry = (
+            registry if registry is not None else NULL_REGISTRY
+        )
+        self._obs = self.registry.enabled
         self.predictor: Predictor = (
             predictor
             if predictor is not None
             else TracePredictor(failures, config.accuracy, seed=config.seed)
         )
+        if self._obs:
+            self.predictor.bind_registry(self.registry)
         self.user: UserModel = (
             user if user is not None else RiskThresholdUser(config.user_threshold)
         )
 
-        self.cluster = Cluster(config.node_count, downtime=config.downtime)
+        self.cluster = Cluster(
+            config.node_count, downtime=config.downtime, registry=self.registry
+        )
         self.topology: Topology = topology_by_name(config.topology, config.node_count)
         scorer = scorer_by_name(config.placement, self.predictor, config.seed)
         self.scheduler = ConservativeBackfillScheduler(
@@ -188,12 +216,21 @@ class ProbabilisticQoSSystem:
             self.predictor,
             scorer,
             max_offers=config.max_offers,
+            registry=self.registry,
         )
         self.policy: CheckpointPolicy = policy_by_name(config.checkpoint_policy)
         self.metrics = MetricsCollector()
         self.recorder: TraceRecorder = recorder if recorder is not None else NullRecorder()
 
-        self.loop = EventLoop()
+        self.loop = EventLoop(registry=self.registry)
+        self.sampler: Optional[Sampler] = None
+        if sample_interval is not None and self._obs:
+            self.sampler = Sampler(self.registry, sample_interval)
+        self._g_unfinished = self.registry.gauge("core.system.unfinished_jobs")
+        self._g_pending = self.registry.gauge("core.system.pending_starts")
+        self._g_running = self.registry.gauge("core.system.running_jobs")
+        self._c_completed = self.registry.counter("core.system.jobs_completed")
+        self._c_evacuations = self.registry.counter("core.system.evacuations")
         self._states: Dict[int, _JobState] = {}
         self._pending = PendingStarts()
         self._unfinished = 0
@@ -215,6 +252,7 @@ class ProbabilisticQoSSystem:
         register(EventKind.CHECKPOINT_START, self._on_checkpoint_start)
         register(EventKind.CHECKPOINT_FINISH, self._on_checkpoint_finish)
         register(EventKind.WAKEUP, self._on_wakeup)
+        register(EventKind.OBS_SAMPLE, self._on_obs_sample)
 
     def _prime(self) -> None:
         for job in self.workload:
@@ -249,12 +287,24 @@ class ProbabilisticQoSSystem:
     def run(self, max_events: Optional[int] = None) -> SimulationResult:
         """Replay the workload to completion and return the metrics."""
         self._prime()
+        if self.sampler is not None:
+            # First row at the origin, then one per interval; the chain
+            # stops rescheduling itself once all jobs finished, so the
+            # loop still drains.
+            self._refresh_gauges()
+            self.sampler.sample(self.loop.now)
+            self.loop.schedule_in(self.sampler.interval, EventKind.OBS_SAMPLE)
         self.loop.run(max_events=max_events)
+        if self._obs:
+            self._refresh_gauges()
+            if self.sampler is not None:
+                self.sampler.sample(self.loop.now)
         return SimulationResult(
             metrics=self.metrics.finalize(self.config.node_count),
             config=self.config,
             outcomes=self.metrics.outcomes(),
             events_processed=self.loop.processed_events,
+            obs=self.registry.snapshot() if self._obs else None,
         )
 
     # ------------------------------------------------------------------
@@ -324,6 +374,7 @@ class ProbabilisticQoSSystem:
             saved_progress=state.saved_progress,
             start_time=now,
             recovery_overhead=self.config.recovery_time,
+            registry=self.registry,
         )
         # A delayed start occupies nodes past the booked end; extend the
         # booking so later placement decisions see the truth.
@@ -432,6 +483,8 @@ class ProbabilisticQoSSystem:
         self.cluster.remove_job(job_id)
         self.cluster.ledger.release(job_id)
         self.metrics.record_finish(job_id, now)
+        if self._obs:
+            self._c_completed.inc()
         self.recorder.record(now, "finish", job_id=job_id)
         self._after_capacity_freed(now)
 
@@ -550,6 +603,8 @@ class ProbabilisticQoSSystem:
             state.run_event = None
         self.cluster.remove_job(job_id)
         self.metrics.record_evacuation(job_id)
+        if self._obs:
+            self._c_evacuations.inc()
         self.recorder.record(
             now, "evacuated", job_id=job_id, predicted_pf=p_f, nodes=list(nodes)
         )
@@ -620,6 +675,23 @@ class ProbabilisticQoSSystem:
         self._wakeup_scheduled = False
         self._after_capacity_freed(self.loop.now)
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _refresh_gauges(self) -> None:
+        """Bring point-in-time gauges up to date before a snapshot."""
+        self._g_unfinished.set(self._unfinished)
+        self._g_pending.set(len(self._pending.snapshot()))
+        self._g_running.set(len(self.cluster.running_jobs()))
+        self.loop.observe_gauges()
+
+    def _on_obs_sample(self, event: Event) -> None:
+        assert self.sampler is not None
+        self._refresh_gauges()
+        self.sampler.sample(self.loop.now)
+        if self._unfinished > 0:
+            self.loop.schedule_in(self.sampler.interval, EventKind.OBS_SAMPLE)
+
 
 def simulate(
     config: SystemConfig,
@@ -627,9 +699,12 @@ def simulate(
     failures: FailureTrace,
     predictor: Optional[Predictor] = None,
     user: Optional[UserModel] = None,
+    registry: Optional[MetricsRegistry] = None,
+    sample_interval: Optional[float] = None,
 ) -> SimulationResult:
     """One-call convenience: build the system and run it to completion."""
     system = ProbabilisticQoSSystem(
-        config, workload, failures, predictor=predictor, user=user
+        config, workload, failures, predictor=predictor, user=user,
+        registry=registry, sample_interval=sample_interval,
     )
     return system.run()

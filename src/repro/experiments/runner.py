@@ -14,10 +14,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.metrics import SimulationMetrics
-from repro.core.system import SystemConfig, simulate
+from repro.core.system import SimulationResult, SystemConfig, simulate
 from repro.experiments.config import ExperimentSetup
 from repro.failures.events import FailureTrace
 from repro.failures.generator import FailureModelSpec, generate_failure_trace
+from repro.obs.registry import MetricsRegistry
 from repro.workload.job import JobLog
 from repro.workload.synthetic import log_by_name
 
@@ -49,12 +50,17 @@ class ExperimentContext:
         setup: The experiment environment description.
         log: The synthesized (or loaded) job log.
         failures: A failure trace covering the worst-case horizon.
+        registry: Optional obs registry threaded into every simulation this
+            context executes.  Counters then aggregate across the distinct
+            (non-memoised) points a sweep runs — the "what did producing
+            this figure actually do" view.
     """
 
     setup: ExperimentSetup
     log: JobLog
     failures: FailureTrace
     _cache: Dict[Tuple, SimulationMetrics] = field(default_factory=dict)
+    registry: Optional[MetricsRegistry] = None
 
     @classmethod
     def prepare(
@@ -62,6 +68,7 @@ class ExperimentContext:
         setup: ExperimentSetup,
         log: Optional[JobLog] = None,
         failures: Optional[FailureTrace] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "ExperimentContext":
         """Build the context, synthesising whatever is not supplied.
 
@@ -80,7 +87,7 @@ class ExperimentContext:
                 spec=FailureModelSpec(nodes=setup.node_count),
                 seed=setup.seed,
             )
-        return cls(setup=setup, log=log, failures=failures)
+        return cls(setup=setup, log=log, failures=failures, registry=registry)
 
     # ------------------------------------------------------------------
     # Simulation points
@@ -117,9 +124,40 @@ class ExperimentContext:
         if cached is not None:
             return cached
         config = self.config(accuracy, user_threshold, **overrides)
-        result = simulate(config, self.log, self.failures)
+        result = simulate(
+            config, self.log, self.failures, registry=self.registry
+        )
         self._cache[key] = result.metrics
         return result.metrics
+
+    def run_instrumented(
+        self,
+        accuracy: float,
+        user_threshold: float,
+        registry: MetricsRegistry,
+        sample_interval: Optional[float] = None,
+        **overrides,
+    ):
+        """Simulate one point with a live obs registry (never memoised).
+
+        Instrumented runs bypass the cache in both directions: a cached
+        metrics object carries no counters, and the counters of a fresh run
+        must reflect exactly one simulation, not whichever point happened
+        to run first.
+
+        Returns:
+            ``(result, sampler)`` — the full :class:`SimulationResult`
+            (with ``.obs`` attached) and the system's sampler (None unless
+            ``sample_interval`` was given with a live registry).
+        """
+        from repro.core.system import ProbabilisticQoSSystem
+
+        config = self.config(accuracy, user_threshold, **overrides)
+        system = ProbabilisticQoSSystem(
+            config, self.log, self.failures,
+            registry=registry, sample_interval=sample_interval,
+        )
+        return system.run(), system.sampler
 
     @property
     def cached_points(self) -> int:

@@ -1,0 +1,46 @@
+"""Observability: counters, histograms, and sim-time sampling.
+
+The instrumentation substrate for the whole control system.  Every layer
+(engine, ledger, schedulers, negotiation, checkpointing, prediction)
+accepts a :class:`MetricsRegistry` and records its decision points into
+named metrics following ``<layer>.<component>.<name>``; the default
+:class:`NullRegistry` makes all of it free for uninstrumented sweeps.
+See DESIGN.md "Observability" for the naming scheme and the overhead
+budget.
+"""
+
+from repro.obs.export import (
+    OBS_SCHEMA_VERSION,
+    build_report,
+    load_report,
+    summarize,
+    write_report,
+)
+from repro.obs.registry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.sampler import Sampler
+
+__all__ = [
+    "OBS_SCHEMA_VERSION",
+    "build_report",
+    "load_report",
+    "summarize",
+    "write_report",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Sampler",
+]

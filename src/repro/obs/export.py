@@ -1,0 +1,139 @@
+"""Serialising observability state to disk and rendering it for humans.
+
+One JSON document carries everything one run (or one batch of runs)
+produced: the final registry snapshot plus the sampler's sim-time series.
+``probqos run --obs out.json`` writes it; ``probqos obs summarize
+out.json`` renders it back as the report below; downstream tooling
+(perf-PR diffs, notebooks) reads the raw JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import Sampler
+
+#: Version of the on-disk report layout.
+OBS_SCHEMA_VERSION = 1
+
+
+def build_report(
+    registry: MetricsRegistry,
+    sampler: Optional[Sampler] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the JSON-serialisable observability report."""
+    report: Dict[str, Any] = {
+        "schema": OBS_SCHEMA_VERSION,
+        "meta": dict(meta) if meta else {},
+        "metric_names": registry.metric_names(),
+        "layers": registry.layers(),
+        "metrics": registry.snapshot(),
+        "series": {
+            "interval": sampler.interval if sampler is not None else None,
+            "rows": sampler.rows if sampler is not None else [],
+        },
+    }
+    return report
+
+
+def write_report(
+    path: str,
+    registry: MetricsRegistry,
+    sampler: Optional[Sampler] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the report to ``path``; returns the dict that was written."""
+    report = build_report(registry, sampler, meta)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read a report back; raises ValueError on an unknown schema."""
+    with open(path) as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != OBS_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported obs schema {schema!r} "
+            f"(this build reads {OBS_SCHEMA_VERSION})"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering
+# ----------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4f}" if abs(value) < 1000 else f"{value:.4g}"
+    return f"{int(value)}"
+
+
+def summarize(report: Dict[str, Any]) -> str:
+    """Render a loaded report as the ``probqos obs summarize`` text."""
+    lines: List[str] = []
+    meta = report.get("meta", {})
+    names = report.get("metric_names", [])
+    layers = report.get("layers", [])
+    lines.append(
+        f"Observability report: {len(names)} metrics across "
+        f"{len(layers)} layers ({', '.join(layers) if layers else 'none'})"
+    )
+    for key in sorted(meta):
+        lines.append(f"  {key}: {meta[key]}")
+
+    metrics = report.get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+
+    if counters:
+        lines.append("")
+        lines.append("Counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {_format_value(counters[name])}")
+    if gauges:
+        lines.append("")
+        lines.append("Gauges:")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {_format_value(gauges[name])}")
+    if histograms:
+        lines.append("")
+        lines.append("Histograms:")
+        width = max(len(n) for n in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = h.get("count", 0)
+            mean = (h.get("sum", 0.0) / count) if count else 0.0
+            lines.append(
+                f"  {name:<{width}}  count={count} mean={mean:.4g}"
+                f" min={_format_value(h.get('min') or 0)}"
+                f" max={_format_value(h.get('max') or 0)}"
+            )
+
+    series = report.get("series", {})
+    rows = series.get("rows", [])
+    if rows:
+        t0, t1 = rows[0]["time"], rows[-1]["time"]
+        lines.append("")
+        lines.append(
+            f"Time series: {len(rows)} samples over sim-time "
+            f"[{t0:g}, {t1:g}] s"
+            + (
+                f" (interval {series['interval']:g} s)"
+                if series.get("interval")
+                else ""
+            )
+        )
+    else:
+        lines.append("")
+        lines.append("Time series: no samples (no sampler attached)")
+    return "\n".join(lines)

@@ -37,6 +37,35 @@ class PredictedFailure:
 class Predictor(abc.ABC):
     """Estimates failure probabilities for node sets over time windows."""
 
+    #: Observability flag; flipped by :meth:`bind_registry`.  Hot paths in
+    #: concrete predictors guard on this, so unbound predictors pay one
+    #: class-attribute test per query and nothing more.
+    _obs = False
+    #: Component segment of this predictor's metric names
+    #: (``prediction.<component>.*``); overridden by subclasses.
+    _obs_component = "base"
+
+    def bind_registry(self, registry) -> None:
+        """Attach a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Queries and positive predictions are counted under
+        ``prediction.<component>.*``, and a rolling hit-rate gauge tracks
+        the fraction of window queries that returned a nonzero failure
+        probability.  Binding a null registry is a no-op.
+        """
+        self._obs = registry.enabled
+        prefix = f"prediction.{self._obs_component}"
+        self._c_queries = registry.counter(prefix + ".queries")
+        self._c_hits = registry.counter(prefix + ".hits")
+        self._g_hit_rate = registry.gauge(prefix + ".hit_rate")
+
+    def _record_query(self, probability: float) -> None:
+        """Count one ``failure_probability`` call (obs-on paths only)."""
+        self._c_queries.inc()
+        if probability > 0.0:
+            self._c_hits.inc()
+        self._g_hit_rate.set(self._c_hits.value / self._c_queries.value)
+
     @abc.abstractmethod
     def failure_probability(
         self, nodes: Iterable[int], start: float, end: float

@@ -87,6 +87,8 @@ class OnlinePredictor(Predictor):
             paper's "negligible rate of false positives" regime.
     """
 
+    _obs_component = "online"
+
     def __init__(
         self,
         raw_log: Sequence[RawEvent],
@@ -96,6 +98,10 @@ class OnlinePredictor(Predictor):
         self._index = EventWindowIndex(raw_log)
         self._health = health
         self._config = config
+
+    def bind_registry(self, registry) -> None:
+        super().bind_registry(registry)
+        self._c_alarms = registry.counter("prediction.online.alarms")
 
     @property
     def config(self) -> OnlinePredictorConfig:
@@ -135,7 +141,10 @@ class OnlinePredictor(Predictor):
             return 0.0
         horizon = end - start
         hazards = [self.node_hazard(n, start, horizon) for n in nodes]
-        return combine_independent(hazards)
+        result = combine_independent(hazards)
+        if self._obs:
+            self._record_query(result)
+        return result
 
     def predicted_failures(
         self, nodes: Iterable[int], start: float, end: float
@@ -155,4 +164,6 @@ class OnlinePredictor(Predictor):
                     )
                 )
         alarms.sort(key=lambda a: (a.time, a.node))
+        if self._obs and alarms:
+            self._c_alarms.inc(len(alarms))
         return alarms

@@ -30,6 +30,11 @@ from repro.sim.rng import stable_uniform
 class TracePredictor(Predictor):
     """Oracle-with-blind-spots predictor over a known failure trace.
 
+    Metrics (when a registry is bound): ``prediction.trace.queries``,
+    ``prediction.trace.hits``, and the rolling ``prediction.trace.hit_rate``
+    gauge — the fraction of window queries that surfaced a detectable
+    failure.
+
     Args:
         trace: The failure log the simulation replays.
         accuracy: The accuracy knob ``a ∈ [0, 1]``; a failure is visible to
@@ -38,6 +43,8 @@ class TracePredictor(Predictor):
             accuracy sweep so higher accuracy strictly reveals a superset of
             failures.
     """
+
+    _obs_component = "trace"
 
     def __init__(
         self, trace: FailureTrace, accuracy: float, seed: Optional[int] = None
@@ -87,11 +94,15 @@ class TracePredictor(Predictor):
         """
         if end <= start:
             return 0.0
+        result = 0.0
         for event in self._trace.in_window(nodes, start, end):
             px = self._detectability[event.event_id]
             if px <= self._accuracy:
-                return px
-        return 0.0
+                result = px
+                break
+        if self._obs:
+            self._record_query(result)
+        return result
 
     def predicted_failures(
         self, nodes: Iterable[int], start: float, end: float

@@ -25,6 +25,7 @@ from repro.checkpointing.runtime import JobRun, padded_remaining
 from repro.cluster.machine import Cluster
 from repro.core.metrics import MetricsCollector, SimulationMetrics
 from repro.failures.events import FailureTrace
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.sim.engine import EventLoop
 from repro.sim.events import Event, EventKind
 from repro.workload.job import Job, JobLog
@@ -63,14 +64,31 @@ class EasyBackfillSimulator:
     """Replays a workload under EASY backfilling (no promises, no prediction)."""
 
     def __init__(
-        self, config: EasyConfig, workload: JobLog, failures: FailureTrace
+        self,
+        config: EasyConfig,
+        workload: JobLog,
+        failures: FailureTrace,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self.workload = workload
         self.failures = failures
-        self.cluster = Cluster(config.node_count, downtime=config.downtime)
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._registry = registry
+        self._obs = registry.enabled
+        self._c_backfill_attempts = registry.counter(
+            "scheduling.easy.backfill_attempts"
+        )
+        self._c_backfill_successes = registry.counter(
+            "scheduling.easy.backfill_successes"
+        )
+        self._c_head_starts = registry.counter("scheduling.easy.head_starts")
+        self._g_queue_depth = registry.gauge("scheduling.easy.queue_depth")
+        self.cluster = Cluster(
+            config.node_count, downtime=config.downtime, registry=registry
+        )
         self.metrics = MetricsCollector()
-        self.loop = EventLoop()
+        self.loop = EventLoop(registry=registry)
         self._states: Dict[int, _EasyJobState] = {}
         #: Waiting job ids in FCFS order of original arrival.
         self._queue: List[int] = []
@@ -147,13 +165,18 @@ class EasyBackfillSimulator:
     def _schedule_pass(self) -> None:
         """Start the head if possible; otherwise backfill behind it."""
         now = self.loop.now
+        obs = self._obs
         while self._queue:
             head = self._states[self._queue[0]]
             if self._try_start(head):
                 self._queue.pop(0)
+                if obs:
+                    self._c_head_starts.inc()
                 continue
             break
         if not self._queue:
+            if obs:
+                self._g_queue_depth.set(0)
             return
         head = self._states[self._queue[0]]
         shadow, spare = self._shadow_time(head.job.size)
@@ -167,10 +190,16 @@ class EasyBackfillSimulator:
             fits_in_spare = state.job.size <= spare
             if not (fits_before_shadow or fits_in_spare):
                 continue
+            if obs:
+                self._c_backfill_attempts.inc()
             if self._try_start(state):
                 self._queue.remove(job_id)
+                if obs:
+                    self._c_backfill_successes.inc()
                 if fits_in_spare and not fits_before_shadow:
                     spare -= state.job.size
+        if obs:
+            self._g_queue_depth.set(len(self._queue))
 
     def _try_start(self, state: _EasyJobState) -> bool:
         up_idle = [
@@ -192,6 +221,7 @@ class EasyBackfillSimulator:
             overhead=self.config.checkpoint_overhead,
             saved_progress=state.saved_progress,
             start_time=now,
+            registry=self._registry,
         )
         self._schedule_run_event(state)
         return True
@@ -307,7 +337,10 @@ class EasyBackfillSimulator:
 
 
 def simulate_easy(
-    config: EasyConfig, workload: JobLog, failures: FailureTrace
+    config: EasyConfig,
+    workload: JobLog,
+    failures: FailureTrace,
+    registry: Optional[MetricsRegistry] = None,
 ) -> SimulationMetrics:
     """One-call convenience for the EASY comparator."""
-    return EasyBackfillSimulator(config, workload, failures).run()
+    return EasyBackfillSimulator(config, workload, failures, registry=registry).run()

@@ -32,6 +32,7 @@ from repro.cluster.reservations import NodeScorer, ReservationLedger
 from repro.cluster.topology import Topology
 from repro.core.negotiation import NegotiationOutcome, Negotiator
 from repro.core.users import UserModel
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.prediction.base import Predictor
 
 
@@ -56,6 +57,9 @@ class ConservativeBackfillScheduler:
         scorer: Node-ranking policy; pass the fault-aware scorer for the
             paper's system or an uninformed one for baselines.
         max_offers: Negotiation dialogue cap.
+        registry: Optional obs registry; when live, restart bookings and
+            pull-forward attempts are counted under ``scheduling.fcfs.*``
+            and the registry is forwarded to the negotiator.
     """
 
     def __init__(
@@ -65,13 +69,28 @@ class ConservativeBackfillScheduler:
         predictor: Predictor,
         scorer: Optional[NodeScorer],
         max_offers: int = 400,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._ledger = ledger
         self._topology = topology
         self._predictor = predictor
         self._scorer = scorer
+        registry = registry if registry is not None else NULL_REGISTRY
         self.negotiator = Negotiator(
-            ledger, topology, predictor, scorer, max_offers=max_offers
+            ledger, topology, predictor, scorer, max_offers=max_offers,
+            registry=registry,
+        )
+        self._obs = registry.enabled
+        self._c_restarts = registry.counter("scheduling.fcfs.restarts_booked")
+        self._c_restart_probes = registry.counter("scheduling.fcfs.restart_probes")
+        self._c_pull_attempts = registry.counter(
+            "scheduling.fcfs.pull_forward_attempts"
+        )
+        self._c_pull_successes = registry.counter(
+            "scheduling.fcfs.pull_forward_successes"
+        )
+        self._h_restart_delay = registry.histogram(
+            "scheduling.fcfs.restart_delay_candidates"
         )
 
     # ------------------------------------------------------------------
@@ -107,7 +126,9 @@ class ConservativeBackfillScheduler:
         """
         profile = self._ledger.profile()
         total = self._ledger.node_count
+        candidates = 0
         for start in self._ledger.candidate_times(now):
+            candidates += 1
             if not profile.window_fits(
                 start, start + padded_remaining, size, total
             ):
@@ -121,6 +142,10 @@ class ConservativeBackfillScheduler:
             if nodes is None:
                 continue
             self._ledger.reserve(job_id, nodes, start, start + padded_remaining)
+            if self._obs:
+                self._c_restarts.inc()
+                self._c_restart_probes.inc(candidates)
+                self._h_restart_delay.observe(candidates)
             return RestartReservation(
                 job_id=job_id,
                 start=start,
@@ -151,6 +176,8 @@ class ConservativeBackfillScheduler:
         reservation = self._ledger.get(job_id)
         if reservation is None or reservation.start <= now:
             return None
+        if self._obs:
+            self._c_pull_attempts.inc()
         duration = reservation.duration
         self._ledger.release(job_id)
         for start in self._ledger.candidate_times(now):
@@ -165,6 +192,8 @@ class ConservativeBackfillScheduler:
             if nodes is None:
                 continue
             self._ledger.reserve(job_id, nodes, start, start + duration)
+            if self._obs:
+                self._c_pull_successes.inc()
             return RestartReservation(
                 job_id=job_id, start=start, nodes=tuple(nodes), end=start + duration
             )

@@ -23,8 +23,10 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.registry import NULL_REGISTRY, Counter, Histogram, MetricsRegistry
 from repro.sim.events import Event, EventKind
 
 Handler = Callable[[Event], None]
@@ -48,7 +50,11 @@ class EventLoop:
         [1.0, 5.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._now = float(start_time)
         self._heap: List[tuple] = []
         self._seq = 0
@@ -57,6 +63,15 @@ class EventLoop:
         self._processed = 0
         self._running = False
         self._stopped = False
+        # Observability (see repro.obs): per-kind dispatch counters, handler
+        # wall-clock timers, and per-kind live-event counts.  All of it is
+        # gated on one bool so the default NullRegistry costs a single
+        # attribute test per event.
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._obs = self._registry.enabled
+        self._dispatch_counters: Dict[EventKind, Counter] = {}
+        self._handler_timers: Dict[EventKind, Histogram] = {}
+        self._live_by_kind: Dict[EventKind, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -124,7 +139,12 @@ class EventLoop:
                 f"cannot schedule {kind.value} at t={time} before now={self._now}"
             )
         event = Event(time=float(time), kind=kind, payload=dict(payload), seq=self._seq)
-        event.on_cancel = self._on_cancel
+        if self._obs:
+            self._registry.counter("sim.engine.scheduled").inc()
+            self._live_by_kind[kind] = self._live_by_kind.get(kind, 0) + 1
+            event.on_cancel = lambda k=kind: self._on_cancel_kind(k)
+        else:
+            event.on_cancel = self._on_cancel
         self._seq += 1
         self._live += 1
         heapq.heappush(self._heap, (event.sort_key(), event))
@@ -156,7 +176,14 @@ class EventLoop:
             handler = self._handlers.get(event.kind)
             if handler is None:
                 raise SimulationError(f"no handler registered for {event.kind.value}")
-            handler(event)
+            if self._obs:
+                self._live_by_kind[event.kind] -= 1
+                self._dispatched_counter(event.kind).inc()
+                t0 = time.perf_counter()
+                handler(event)
+                self._handler_timer(event.kind).observe(time.perf_counter() - t0)
+            else:
+                handler(event)
             self._processed += 1
             return event
         return None
@@ -194,8 +221,43 @@ class EventLoop:
         return dispatched
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def observe_gauges(self) -> None:
+        """Publish point-in-time engine state (live events per kind) to the
+        registry.  Called by the owner at sampling instants; a no-op with
+        the default null registry."""
+        if not self._obs:
+            return
+        total = 0
+        for kind, live in self._live_by_kind.items():
+            self._registry.gauge(f"sim.engine.pending.{kind.value}").set(live)
+            total += live
+        self._registry.gauge("sim.engine.pending_total").set(total)
+
+    def _dispatched_counter(self, kind: EventKind) -> Counter:
+        counter = self._dispatch_counters.get(kind)
+        if counter is None:
+            counter = self._registry.counter(f"sim.engine.dispatched.{kind.value}")
+            self._dispatch_counters[kind] = counter
+        return counter
+
+    def _handler_timer(self, kind: EventKind) -> Histogram:
+        timer = self._handler_timers.get(kind)
+        if timer is None:
+            timer = self._registry.timer(f"sim.engine.handler_seconds.{kind.value}")
+            self._handler_timers[kind] = timer
+        return timer
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _on_cancel(self) -> None:
         """Event.cancel() hook: keep the live-event counter exact."""
         self._live -= 1
+
+    def _on_cancel_kind(self, kind: EventKind) -> None:
+        """Instrumented cancel hook: also keep per-kind live counts exact."""
+        self._live -= 1
+        self._live_by_kind[kind] -= 1
+        self._registry.counter("sim.engine.cancelled").inc()

@@ -51,6 +51,9 @@ class EventKind(enum.Enum):
     CHECKPOINT_START = "checkpoint_start"
     #: Internal: re-evaluate pending starts after resources changed.
     WAKEUP = "wakeup"
+    #: Internal: snapshot the observability registry (repro.obs) at a fixed
+    #: sim-time cadence.  Never scheduled unless a sampler is attached.
+    OBS_SAMPLE = "obs_sample"
 
 
 #: Processing order for events that share a timestamp.  Lower comes first.
@@ -72,6 +75,8 @@ TIE_BREAK_ORDER: Dict[EventKind, int] = {
     EventKind.CHECKPOINT_REQUEST: 6,
     EventKind.CHECKPOINT_START: 7,
     EventKind.WAKEUP: 8,
+    # Samples observe the final state of the timestep, after even wakeups.
+    EventKind.OBS_SAMPLE: 9,
 }
 
 

@@ -83,3 +83,23 @@ class TestStreamingAndNull:
         record = TraceRecord(time=1.0, kind="finish", job_id=2)
         assert "\n" not in record.to_json()
         assert '"finish"' in record.to_json()
+
+    def test_load_jsonl_rejects_unknown_kinds(self):
+        lines = ['{"time": 1.0, "kind": "teleported", "job_id": 2}']
+        with pytest.raises(ValueError, match="teleported"):
+            load_jsonl(lines)
+
+    def test_load_jsonl_strict_false_keeps_unknown_kinds(self):
+        lines = [
+            '{"time": 1.0, "kind": "start", "job_id": 2}',
+            '{"time": 2.0, "kind": "teleported", "job_id": 2}',
+        ]
+        parsed = load_jsonl(lines, strict=False)
+        assert [r.kind for r in parsed] == ["start", "teleported"]
+
+    def test_memory_disabled_keeps_indexed_queries_empty(self):
+        recorder = TraceRecorder(stream=io.StringIO(), keep_in_memory=False)
+        recorder.record(1.0, "start", job_id=1)
+        assert recorder.of_kind("start") == []
+        assert recorder.for_job(1) == []
+        assert recorder.counts() == {}

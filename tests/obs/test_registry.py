@@ -1,0 +1,145 @@
+"""Unit tests for the metrics registry: instruments, naming, null variant."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_COUNT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("a.b.c")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("a.b.c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("a.b.c")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_bucketing_with_inf_overflow(self):
+        h = Histogram("a.b.c", buckets=(1, 10))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            h.observe(value)
+        assert h.bucket_counts == [2, 1, 1]  # <=1, <=10, +inf
+        assert h.count == 4
+        assert h.min == 0.5
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(106.5 / 4)
+
+    def test_rejects_bad_bucket_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("a.b.c", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("a.b.c", buckets=(5, 5))
+
+    def test_timer_context_records_a_duration(self):
+        h = Histogram("a.b.seconds", buckets=(10.0,))
+        with h.time():
+            pass
+        assert h.count == 1
+        assert 0.0 <= h.max < 10.0
+
+    def test_to_dict_round_trips_through_json(self):
+        h = Histogram("a.b.c", buckets=(1, 2))
+        h.observe(1.5)
+        payload = json.loads(json.dumps(h.to_dict()))
+        assert payload["count"] == 1
+        assert payload["buckets"][-1]["le"] == "inf"
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("sim.engine.x") is reg.counter("sim.engine.x")
+        assert reg.gauge("sim.engine.g") is reg.gauge("sim.engine.g")
+        assert reg.histogram("sim.engine.h") is reg.histogram("sim.engine.h")
+
+    def test_name_scheme_is_enforced(self):
+        reg = MetricsRegistry()
+        for bad in ("flat", "two.parts", "Upper.case.name", "sim..x"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+        reg.counter("sim.engine.deeply.nested.name")  # >= 3 parts is fine
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("a.b.h", buckets=(1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("a.b.h", buckets=(1, 2, 3))
+
+    def test_layers_and_metric_names(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.engine.x")
+        reg.gauge("cluster.ledger.y")
+        reg.histogram("negotiation.dialogue.z")
+        assert reg.metric_names() == [
+            "cluster.ledger.y",
+            "negotiation.dialogue.z",
+            "sim.engine.x",
+        ]
+        assert reg.layers() == ["cluster", "negotiation", "sim"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b.c", 2)
+        reg.set_gauge("a.b.g", 7)
+        reg.observe("a.b.h", 3)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.b.c": 2}
+        assert snap["gauges"] == {"a.b.g": 7.0}
+        assert snap["histograms"]["a.b.h"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serialisable as-is
+
+    def test_scalar_snapshot_flattens_histograms_to_counts(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b.c")
+        reg.observe("a.b.h", 1)
+        reg.observe("a.b.h", 2)
+        assert reg.scalar_snapshot() == {"a.b.c": 1, "a.b.h.count": 2}
+
+
+class TestNullRegistry:
+    def test_is_disabled_and_records_nothing(self):
+        reg = NullRegistry()
+        assert reg.enabled is False
+        reg.counter("a.b.c").inc(5)
+        reg.gauge("a.b.g").set(5)
+        reg.histogram("a.b.h").observe(5)
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert reg.scalar_snapshot() == {}
+        assert reg.metric_names() == []
+
+    def test_instruments_are_shared_singletons(self):
+        reg = NullRegistry()
+        assert reg.counter("a.b.c") is reg.counter("x.y.z")
+
+    def test_module_singleton_is_a_null_registry(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        assert NULL_REGISTRY.enabled is False
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_COUNT_BUCKETS) == sorted(DEFAULT_COUNT_BUCKETS)

@@ -30,8 +30,18 @@ class TestTieBreakOrder:
         assert TIE_BREAK_ORDER[EventKind.FAILURE] < TIE_BREAK_ORDER[EventKind.ARRIVAL]
         assert TIE_BREAK_ORDER[EventKind.FAILURE] < TIE_BREAK_ORDER[EventKind.START]
 
-    def test_wakeup_runs_last(self):
-        assert TIE_BREAK_ORDER[EventKind.WAKEUP] == max(TIE_BREAK_ORDER.values())
+    def test_wakeup_runs_last_among_semantic_kinds(self):
+        # Only the passive OBS_SAMPLE snapshot runs after a wakeup; every
+        # kind that mutates simulation state precedes it.
+        semantic = [k for k in EventKind if k is not EventKind.OBS_SAMPLE]
+        assert TIE_BREAK_ORDER[EventKind.WAKEUP] == max(
+            TIE_BREAK_ORDER[k] for k in semantic
+        )
+
+    def test_obs_sample_observes_the_final_state(self):
+        assert TIE_BREAK_ORDER[EventKind.OBS_SAMPLE] == max(
+            TIE_BREAK_ORDER.values()
+        )
 
 
 class TestEvent:

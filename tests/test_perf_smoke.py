@@ -40,7 +40,7 @@ def test_perf_harness_smoke(tmp_path):
     assert result.returncode == 0, result.stderr
 
     report = json.loads(out.read_text())
-    assert report["schema"] == 1
+    assert report["schema"] == 2
     assert report["preset"] == "smoke"
     scenarios = report["scenarios"]
     for name in ("find_slot_deep_queue", "negotiation_dialogue"):
@@ -50,3 +50,6 @@ def test_perf_harness_smoke(tmp_path):
         assert data["seed"]["median_s"] > 0
         assert data["speedup"] > 0
         assert len(data["current"]["samples_s"]) == 1
+        # Schema 2: every scenario embeds counter totals from one
+        # instrumented (non-timed) rerun.
+        assert data["obs"]["cluster.ledger.find_slot_calls"] > 0
