@@ -1,7 +1,7 @@
 """Ledger hot-path microbenchmarks (the ``BENCH_ledger.json`` harness).
 
-Three scenarios bracket the free-time-profile hot path from unit scale to
-the full system:
+Four scenarios bracket the hot paths from unit scale to the full
+evaluation pipeline:
 
 * ``find_slot_deep_queue`` — a deep conservative-backfilling queue (many
   live bookings) probed with a batch of ``find_slot`` queries, with zero
@@ -14,8 +14,15 @@ the full system:
   them.
 * ``nasa_end_to_end`` — an end-to-end NASA-trace simulation point, the
   outermost number a future perf PR should watch.
+* ``figures_grid`` — a figure-sized ``(a, U)`` sweep grid executed three
+  ways: sequentially (``jobs=1``, the pre-parallel behaviour), through
+  the process pool with a cold on-disk point cache (``--jobs 4``), and
+  again against the warm cache; asserts all three produce bit-identical
+  metrics and reports both speedups plus cache hit statistics.  The
+  parallel speedup is hardware-bound (``params.cpu_count`` records what
+  was available); the warm-cache speedup is not.
 
-Every scenario is run on the optimised
+The first three scenarios run on the optimised
 :class:`~repro.cluster.reservations.ReservationLedger` *and* on the frozen
 :class:`~repro.cluster.reference.SeedReservationLedger`, asserting along
 the way that both return identical answers; timings are reported as the
@@ -30,8 +37,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
+import shutil
 import statistics
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -42,6 +52,7 @@ from repro.cluster.topology import FlatTopology
 from repro.core.negotiation import Negotiator
 from repro.core.system import simulate
 from repro.core.users import RiskThresholdUser
+from repro.experiments.cache import PointCache
 from repro.experiments.config import ExperimentSetup
 from repro.experiments.runner import ExperimentContext
 from repro.obs.registry import MetricsRegistry
@@ -50,18 +61,27 @@ from repro.failures.generator import FailureModelSpec, generate_failure_trace
 
 #: Presets trade fidelity for wall clock; ``smoke`` exists so the tier-1
 #: suite can exercise the harness end-to-end in a couple of seconds.
-PRESETS: Dict[str, Dict[str, int]] = {
+#: ``grid_jobs``/``grid_accuracies``/``grid_users``/``pool_jobs`` shape the
+#: ``figures_grid`` scenario (log size, sweep axes, worker processes).
+PRESETS: Dict[str, Dict] = {
     "default": dict(
-        nodes=128, bookings=400, queries=150, dialogue_jobs=60, nasa_jobs=250
+        nodes=128, bookings=400, queries=150, dialogue_jobs=60, nasa_jobs=250,
+        grid_jobs=150, grid_accuracies=11, grid_users=(0.1, 0.9), pool_jobs=4,
     ),
-    "smoke": dict(nodes=32, bookings=40, queries=15, dialogue_jobs=8, nasa_jobs=0),
+    "smoke": dict(
+        nodes=32, bookings=40, queries=15, dialogue_jobs=8, nasa_jobs=0,
+        grid_jobs=50, grid_accuracies=3, grid_users=(0.9,), pool_jobs=2,
+    ),
 }
 
 #: Schema 2 added the per-scenario ``obs`` block: counter totals from one
 #: instrumented (non-timed) rerun, so a perf diff can tell *why* a number
 #: moved — probe counts, cache hit rates, dialogue depths — not just that
-#: it did.  Timed runs stay uninstrumented.
-SCHEMA_VERSION = 2
+#: it did.  Timed runs stay uninstrumented.  Schema 3 added the
+#: ``figures_grid`` scenario (sequential vs process-pool vs warm-cache
+#: sweep execution, with ``speedup_parallel``/``speedup_warm`` instead of
+#: the current-vs-seed ``speedup``).
+SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -278,6 +298,102 @@ def bench_nasa(params: Dict[str, int], seed: int, repeats: int) -> Optional[Dict
     }
 
 
+def bench_figures_grid(params: Dict, seed: int, repeats: int) -> Optional[Dict]:
+    """A figure-sized sweep grid: sequential vs pooled vs warm cache.
+
+    All three execution modes must produce bit-identical metrics; the
+    scenario exists to track (a) how much the process pool buys on the
+    machine at hand and (b) that a warm on-disk cache makes regeneration
+    nearly free regardless of hardware.
+    """
+    grid_jobs = params.get("grid_jobs", 0)
+    if grid_jobs <= 0:
+        return None
+    pool_jobs = params["pool_jobs"]
+    accuracy_count = params["grid_accuracies"]
+    accuracies = [
+        round(k / (accuracy_count - 1), 6) for k in range(accuracy_count)
+    ] if accuracy_count > 1 else [0.5]
+    users = list(params["grid_users"])
+    points = [(a, u) for u in users for a in accuracies]
+    setup = ExperimentSetup(workload="sdsc", job_count=grid_jobs, seed=seed)
+
+    def sequential():
+        return ExperimentContext.prepare(setup).run_points(points)
+
+    seq_samples, seq_answers = _timed(sequential, repeats)
+
+    scratch = tempfile.mkdtemp(prefix="probqos-bench-cache-")
+    try:
+        cold_dirs = iter(
+            os.path.join(scratch, f"cold-{i}") for i in range(repeats + 1)
+        )
+
+        def parallel_cold():
+            context = ExperimentContext.prepare(
+                setup, jobs=pool_jobs, cache=PointCache(next(cold_dirs))
+            )
+            return context.run_points(points)
+
+        par_samples, par_answers = _timed(parallel_cold, repeats)
+        if par_answers != seq_answers:
+            raise AssertionError("pooled grid metrics diverge from sequential")
+
+        # Populate one cache (untimed), then time reruns against it with
+        # fresh contexts so only the disk cache can satisfy the points.
+        warm_dir = os.path.join(scratch, "warm")
+        ExperimentContext.prepare(
+            setup, jobs=pool_jobs, cache=PointCache(warm_dir)
+        ).run_points(points)
+        warm_cache = PointCache(warm_dir)
+
+        def warm_rerun():
+            context = ExperimentContext.prepare(
+                setup, jobs=pool_jobs, cache=warm_cache
+            )
+            return context.run_points(points)
+
+        warm_samples, warm_answers = _timed(warm_rerun, repeats)
+        if warm_answers != seq_answers:
+            raise AssertionError("warm-cache metrics diverge from sequential")
+        cache_stats = dict(warm_cache.stats)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    # One instrumented pooled rerun (uncached, untimed): exercises the
+    # per-worker registry snapshot merge and yields the obs block.
+    registry = MetricsRegistry()
+    ExperimentContext.prepare(
+        setup, jobs=pool_jobs, registry=registry
+    ).run_points(points)
+
+    seq_med = statistics.median(seq_samples)
+    par_med = statistics.median(par_samples)
+    warm_med = statistics.median(warm_samples)
+    return {
+        "description": (
+            "figure-sized (a, U) sweep grid: sequential vs process pool "
+            "(cold cache) vs warm on-disk cache"
+        ),
+        "params": {
+            "workload": "sdsc",
+            "grid_jobs": grid_jobs,
+            "points": len(points),
+            "pool_jobs": pool_jobs,
+            "seed": seed,
+            "cpu_count": os.cpu_count(),
+        },
+        "sequential": _entry(seq_samples),
+        "parallel": _entry(par_samples),
+        "warm_cache": _entry(warm_samples),
+        "speedup_parallel": seq_med / par_med if par_med > 0 else float("inf"),
+        "speedup_warm": seq_med / warm_med if warm_med > 0 else float("inf"),
+        "answers_identical": True,
+        "cache": cache_stats,
+        "obs": _obs_counters(registry),
+    }
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -295,6 +411,9 @@ def run_benchmarks(
     nasa = bench_nasa(params, seed, repeats)
     if nasa is not None:
         scenarios["nasa_end_to_end"] = nasa
+    grid = bench_figures_grid(params, seed, repeats)
+    if grid is not None:
+        scenarios["figures_grid"] = grid
 
     report = {
         "schema": SCHEMA_VERSION,
@@ -325,10 +444,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         out_path=args.out, preset=preset, repeats=args.repeats, seed=args.seed
     )
     for name, data in report["scenarios"].items():
-        print(
-            f"{name:24s} current {data['current']['median_s'] * 1e3:9.2f} ms"
-            f"   seed {data['seed']['median_s'] * 1e3:9.2f} ms"
-            f"   speedup {data['speedup']:.2f}x"
-        )
+        if "speedup" in data:
+            print(
+                f"{name:24s} current {data['current']['median_s'] * 1e3:9.2f} ms"
+                f"   seed {data['seed']['median_s'] * 1e3:9.2f} ms"
+                f"   speedup {data['speedup']:.2f}x"
+            )
+        else:
+            print(
+                f"{name:24s} seq {data['sequential']['median_s'] * 1e3:9.2f} ms"
+                f"   pool x{data['params']['pool_jobs']}"
+                f" {data['parallel']['median_s'] * 1e3:9.2f} ms"
+                f" ({data['speedup_parallel']:.2f}x,"
+                f" {data['params']['cpu_count']} cpu)"
+                f"   warm {data['warm_cache']['median_s'] * 1e3:9.2f} ms"
+                f" ({data['speedup_warm']:.2f}x)"
+            )
     print(f"wrote {args.out}")
     return 0

@@ -4,15 +4,21 @@ Examples::
 
     probqos table 1
     probqos table 2
-    probqos figure 5 --jobs 2000 --seed 7
-    probqos run --workload sdsc --accuracy 0.8 --user 0.9 --jobs 1500
+    probqos figure 5 --job-count 2000 --seed 7
+    probqos figure 1 --jobs 4 --cache-dir .probqos-cache
+    probqos run --workload sdsc --accuracy 0.8 --user 0.9 --job-count 1500
     probqos headline --workload sdsc
     probqos suggest --workload sdsc --size 32 --runtime 7200 --target 0.95
-    probqos report --jobs 2000 --figures 1 5 8
+    probqos report --job-count 2000 --figures 1 5 8
     probqos gantt --workload nasa --nodes 16 --width 72
-    probqos export bundles/sdsc-seed7 --workload sdsc --jobs 10000
+    probqos export bundles/sdsc-seed7 --workload sdsc --job-count 10000
     probqos run --workload nasa --obs obs.json --obs-interval 1800
     probqos obs summarize obs.json
+
+``--jobs N`` fans independent simulation points out over N worker
+processes; ``--cache-dir PATH`` persists every simulated point on disk so
+re-running any figure, table, or report is (nearly) free.  Both default
+off (``--jobs 1``, no cache), which is the exact sequential behaviour.
 """
 
 from __future__ import annotations
@@ -47,11 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("number", type=int, help="figure number, 1-12")
     _add_env_args(fig)
     _add_obs_args(fig)
+    _add_parallel_args(fig)
 
     tab = sub.add_parser("table", help="regenerate a paper table (1-2)")
     tab.add_argument("number", type=int, help="table number, 1 or 2")
     _add_env_args(tab)
     _add_obs_args(tab)
+    _add_parallel_args(tab)
 
     run = sub.add_parser("run", help="simulate one (a, U) point")
     run.add_argument("--accuracy", "-a", type=float, default=0.5)
@@ -90,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
     suggest.add_argument("--target", type=float, default=0.95)
     suggest.add_argument("--accuracy", "-a", type=float, default=0.7)
     _add_env_args(suggest)
+    _add_parallel_args(suggest)
 
     export = sub.add_parser(
         "export", help="write an experiment bundle (SWF + failures) to disk"
@@ -116,13 +125,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="figure numbers to include (default: all 12)",
     )
     _add_env_args(report)
+    _add_parallel_args(report)
     return parser
 
 
 def _add_env_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="sdsc", choices=["nasa", "sdsc"])
-    parser.add_argument("--jobs", type=int, default=1500, help="jobs in the log")
+    parser.add_argument(
+        "--job-count",
+        type=int,
+        default=1500,
+        dest="job_count",
+        help="jobs in the synthetic log (was --jobs before the parallel "
+        "executor claimed that name)",
+    )
     parser.add_argument("--seed", type=int, default=None)
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent simulation points "
+        "(default 1 = sequential)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent on-disk cache of simulated points; reruns "
+        "against a warm cache skip the simulations entirely",
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -141,7 +176,7 @@ def _write_obs_report(args: argparse.Namespace, registry, sampler=None) -> None:
     meta = {
         "command": args.command,
         "workload": getattr(args, "workload", None),
-        "jobs": getattr(args, "jobs", None),
+        "job_count": getattr(args, "job_count", None),
         "seed": getattr(args, "seed", None),
     }
     for key in ("accuracy", "user_threshold", "policy", "placement", "number"):
@@ -157,7 +192,24 @@ def _write_obs_report(args: argparse.Namespace, registry, sampler=None) -> None:
 
 def _setup(args: argparse.Namespace) -> ExperimentSetup:
     seed = args.seed if args.seed is not None else bench_seed()
-    return ExperimentSetup(workload=args.workload, job_count=args.jobs, seed=seed)
+    return ExperimentSetup(
+        workload=args.workload, job_count=args.job_count, seed=seed
+    )
+
+
+def _point_cache(args: argparse.Namespace):
+    """The persistent cache named by ``--cache-dir``, or None."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.experiments.cache import PointCache
+
+    return PointCache(args.cache_dir)
+
+
+def _report_cache(cache) -> None:
+    """Print the cache summary line batch pipelines (and CI) parse."""
+    if cache is not None:
+        print(f"\n{cache.summary()}")
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -166,6 +218,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         from repro.obs.registry import MetricsRegistry
 
         registry = MetricsRegistry()
+    cache = _point_cache(args)
     catalog = FigureCatalog()
     workloads = (
         ("sdsc", "nasa") if args.number == 8 else (_figure_workload(args.number),)
@@ -173,11 +226,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     for name in workloads:
         catalog._contexts[name] = ExperimentContext.prepare(
             ExperimentSetup(
-                workload=name, job_count=args.jobs, seed=_setup(args).seed
+                workload=name, job_count=args.job_count, seed=_setup(args).seed
             ),
             registry=registry,
+            jobs=args.jobs,
+            cache=cache,
         )
     print(format_figure(catalog.figure(args.number)))
+    _report_cache(cache)
     if registry is not None:
         _write_obs_report(args, registry)
     return 0
@@ -189,8 +245,14 @@ def _figure_workload(number: int) -> str:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    # Tables run no simulation points; --jobs/--cache-dir are accepted so
+    # batch pipelines can pass one flag set to every subcommand.
     if args.number == 1:
-        print(format_table1(table_1(seed=_setup(args).seed, job_count=args.jobs)))
+        print(
+            format_table1(
+                table_1(seed=_setup(args).seed, job_count=args.job_count)
+            )
+        )
     elif args.number == 2:
         print(format_pairs("Table 2: Simulation parameters", table_2()))
     else:
@@ -270,7 +332,9 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     from repro.workload.job import Job, JobLog
 
     setup = _setup(args)
-    ctx = ExperimentContext.prepare(setup)
+    ctx = ExperimentContext.prepare(
+        setup, jobs=args.jobs, cache=_point_cache(args)
+    )
     config = SystemConfig(accuracy=args.accuracy, seed=setup.seed)
     system = ProbabilisticQoSSystem(config, JobLog([], name="empty"), ctx.failures)
     probe = Job(job_id=1, arrival_time=0.0, size=args.size, runtime=args.runtime)
@@ -306,10 +370,12 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.workload.synthetic import log_by_name
 
     setup = _setup(args)
-    probe = log_by_name(setup.workload, seed=setup.seed, job_count=args.jobs)
+    probe = log_by_name(
+        setup.workload, seed=setup.seed, job_count=args.job_count
+    )
     horizon = estimate_horizon(probe, 128)
     log, failures, manifest = ensure_bundle(
-        args.directory, setup.workload, args.jobs, setup.seed, horizon
+        args.directory, setup.workload, args.job_count, setup.seed, horizon
     )
     print(
         f"bundle written to {args.directory}: {manifest.job_count} jobs, "
@@ -326,7 +392,7 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     from repro.workload.synthetic import log_by_name
 
     setup = _setup(args)
-    jobs = min(args.jobs, 60)  # a readable chart needs a small scenario
+    jobs = min(args.job_count, 60)  # a readable chart needs a small scenario
     log = log_by_name(setup.workload, seed=setup.seed, job_count=jobs)
     log = log.scaled_sizes(args.nodes)
     horizon = estimate_horizon(log, args.nodes)
@@ -370,11 +436,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
     setup = _setup(args)
+    cache = _point_cache(args)
     print(
         generate_report(
-            job_count=args.jobs, seed=setup.seed, figures=args.figures
+            job_count=args.job_count,
+            seed=setup.seed,
+            figures=args.figures,
+            jobs=args.jobs,
+            cache=cache,
         )
     )
+    _report_cache(cache)
     return 0
 
 

@@ -1,0 +1,150 @@
+"""Persistent, content-addressed cache of simulation-point results.
+
+One ``(setup, a, U, overrides)`` point is a pure function of its spec —
+the simulator is fully deterministic — so its
+:class:`~repro.core.metrics.SimulationMetrics` can be stored on disk and
+reused across CLI invocations: regenerating a figure, table, or
+replication against a warm cache costs file reads instead of simulations.
+
+Keying and invalidation rules (see DESIGN.md "Parallel execution &
+caching"):
+
+* The key is the SHA-256 of the canonical JSON form of the
+  :class:`~repro.experiments.parallel.PointSpec` — every
+  :class:`~repro.experiments.config.ExperimentSetup` field, the sweep
+  coordinates rounded exactly as the in-memory memo rounds them, and the
+  sorted override items — prefixed with :data:`CACHE_FORMAT_VERSION`.
+* Bumping :data:`CACHE_FORMAT_VERSION` (whenever simulation semantics or
+  the metrics schema change) orphans every old entry; stale files are
+  never misread, merely ignored.
+* Values are exact: floats round-trip bit-identically through
+  ``json`` (``repr`` shortest-round-trip), so a cache hit equals the
+  fresh simulation to the last bit.
+
+Corrupt or truncated entries (interrupted writes from a previous crash,
+concurrent CLI invocations) are treated as misses and overwritten;
+writes go through a temp file + ``os.replace`` so readers never observe
+a partial entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.core.metrics import SimulationMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.parallel import PointSpec
+
+#: Bump whenever the simulator's observable behaviour or the
+#: SimulationMetrics schema changes; old entries become unreachable.
+CACHE_FORMAT_VERSION = 1
+
+#: Fan the flat key space out over 256 subdirectories so huge sweeps do
+#: not produce one directory with tens of thousands of entries.
+_SHARD_CHARS = 2
+
+
+def metrics_to_dict(metrics: SimulationMetrics) -> Dict[str, Any]:
+    """A JSON-serialisable form of one metrics record."""
+    return dataclasses.asdict(metrics)
+
+
+def metrics_from_dict(data: Dict[str, Any]) -> SimulationMetrics:
+    """Inverse of :func:`metrics_to_dict` (raises on schema drift)."""
+    return SimulationMetrics(**data)
+
+
+def spec_key(spec: "PointSpec") -> str:
+    """The stable content hash addressing one simulation point."""
+    canonical = {"format": CACHE_FORMAT_VERSION, "spec": spec.canonical()}
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PointCache:
+    """On-disk store mapping point specs to their simulation metrics.
+
+    Args:
+        root: Cache directory (created on first write).  Safe to share
+            between concurrent processes: writes are atomic renames and
+            the worst case for a racing miss is one redundant simulation.
+
+    Attributes:
+        hits / misses / writes: Access statistics since construction,
+            surfaced by the CLI's ``point cache:`` summary line and the
+            perf harness' ``figures_grid`` scenario.
+    """
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:_SHARD_CHARS] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, spec: "PointSpec") -> Optional[SimulationMetrics]:
+        """The cached metrics for ``spec``, or None on a miss."""
+        path = self._path(spec_key(spec))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            metrics = metrics_from_dict(entry["metrics"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt/truncated/stale-schema entry: a miss, not an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def put(self, spec: "PointSpec", metrics: SimulationMetrics) -> None:
+        """Store one result (atomic; last writer wins)."""
+        key = spec_key(spec)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "spec": spec.canonical(),
+            "metrics": metrics_to_dict(metrics),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob(f"*/*.json"))
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/write counts since this handle was created."""
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def summary(self) -> str:
+        """The one-line summary the CLI prints after a cached run."""
+        looked_up = self.hits + self.misses
+        rate = (self.hits / looked_up * 100.0) if looked_up else 0.0
+        return (
+            f"point cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.writes} writes (hit rate {rate:.1f}%) at {self.root}"
+        )

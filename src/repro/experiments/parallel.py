@@ -1,0 +1,260 @@
+"""Process-pool execution of independent simulation points.
+
+The evaluation is embarrassingly parallel: every figure is a grid of
+``(a, U)`` points, every replication multiplies the grid by seeds, and no
+point depends on any other.  This module fans point *misses* (after the
+in-memory memo and the on-disk :class:`~repro.experiments.cache.PointCache`
+have been consulted) out across worker processes:
+
+* :class:`PointSpec` is the picklable, hermetic description of one point —
+  the full :class:`~repro.experiments.config.ExperimentSetup` plus the
+  sweep coordinates and config overrides — from which a worker can rebuild
+  the exact :class:`~repro.experiments.runner.ExperimentContext`
+  (workload synthesis and failure-trace generation are deterministic in
+  the setup's seed) and simulate without talking to the parent.
+* :func:`run_specs` resolves a batch of specs in order: disk cache first,
+  then a :class:`concurrent.futures.ProcessPoolExecutor` for the misses
+  (``jobs > 1``) or the plain in-process path (``jobs == 1``, exactly the
+  pre-parallel behaviour).  Results are returned in *submission* order
+  regardless of worker count or completion order, so callers observe
+  bit-identical output either way.
+
+Workers cache their rebuilt contexts in a module global keyed by setup, so
+one worker pays workload/trace preparation once per distinct setup, not
+once per point.  On platforms that fork (Linux), the parent additionally
+registers its own prepared contexts before spawning the pool, so workers
+inherit them copy-on-write and usually rebuild nothing at all.
+
+Observability: each worker runs its points against a fresh private
+:class:`~repro.obs.registry.MetricsRegistry` and ships the final snapshot
+back; the parent folds the snapshots into its registry with
+:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot` in submission
+order.  Counter totals therefore match a sequential instrumented run up to
+float summation order; cache hits (memo or disk) contribute no counters in
+either mode.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import SimulationMetrics
+from repro.experiments.cache import PointCache
+from repro.experiments.config import ExperimentSetup
+from repro.obs.registry import MetricsRegistry
+
+#: Precision at which sweep coordinates are considered the same point —
+#: must match ``ExperimentContext.run_point``'s memo key rounding.
+KEY_DECIMALS = 6
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """Hermetic description of one simulation point.
+
+    The spec carries the *exact* sweep coordinates it was created with
+    (so a worker reproduces the caller's arithmetic to the bit) while its
+    :meth:`canonical` form rounds them exactly like the in-memory memo
+    key, so near-identical floats address one cache entry.
+    """
+
+    setup: ExperimentSetup
+    accuracy: float
+    user_threshold: float
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        setup: ExperimentSetup,
+        accuracy: float,
+        user_threshold: float,
+        overrides: Optional[Dict[str, Any]] = None,
+    ) -> "PointSpec":
+        return cls(
+            setup=setup,
+            accuracy=accuracy,
+            user_threshold=user_threshold,
+            overrides=tuple(sorted((overrides or {}).items())),
+        )
+
+    def memo_key(self) -> Tuple:
+        """The context-local memo key (see ``ExperimentContext.run_point``)."""
+        return (
+            round(self.accuracy, KEY_DECIMALS),
+            round(self.user_threshold, KEY_DECIMALS),
+            self.overrides,
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        """A JSON-serialisable form stable across processes and sessions."""
+        import dataclasses
+
+        return {
+            "setup": dataclasses.asdict(self.setup),
+            "accuracy": round(self.accuracy, KEY_DECIMALS),
+            "user_threshold": round(self.user_threshold, KEY_DECIMALS),
+            "overrides": [[k, v] for k, v in self.overrides],
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process context store: one prepared (workload, failures) pair per
+#: distinct setup.  In the parent it is pre-seeded by ``register_context``
+#: so forked workers inherit prepared contexts copy-on-write.
+_WORKER_CONTEXTS: Dict[ExperimentSetup, Any] = {}
+
+
+def register_context(context: Any) -> None:
+    """Make a prepared context inheritable by forked pool workers."""
+    _WORKER_CONTEXTS.setdefault(context.setup, context)
+
+
+def _worker_context(setup: ExperimentSetup):
+    from repro.experiments.runner import ExperimentContext
+
+    context = _WORKER_CONTEXTS.get(setup)
+    if context is None:
+        context = ExperimentContext.prepare(setup)
+        _WORKER_CONTEXTS[setup] = context
+    return context
+
+
+def _run_spec_task(
+    spec: PointSpec, instrument: bool
+) -> Tuple[SimulationMetrics, Optional[Dict[str, Any]]]:
+    """Simulate one spec hermetically inside a pool worker.
+
+    Returns the metrics plus, when ``instrument`` is set, the worker-local
+    registry snapshot for the parent to fold in.
+    """
+    from repro.core.system import simulate
+
+    context = _worker_context(spec.setup)
+    registry = MetricsRegistry() if instrument else None
+    config = context.config(
+        spec.accuracy, spec.user_threshold, **dict(spec.overrides)
+    )
+    result = simulate(config, context.log, context.failures, registry=registry)
+    snapshot = registry.snapshot() if registry is not None else None
+    return result.metrics, snapshot
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def run_specs(
+    specs: Sequence[PointSpec],
+    jobs: int = 1,
+    cache: Optional[PointCache] = None,
+    registry: Optional[MetricsRegistry] = None,
+    contexts: Optional[Dict[ExperimentSetup, Any]] = None,
+) -> List[SimulationMetrics]:
+    """Resolve every spec to its metrics, in input order.
+
+    Resolution per spec: the on-disk ``cache`` (if given), then one
+    simulation — pooled across ``jobs`` worker processes when ``jobs > 1``
+    and more than one distinct point misses, in-process otherwise.
+    Duplicate specs (same canonical key) are simulated once.
+
+    Args:
+        specs: Points to resolve.
+        jobs: Worker processes; 1 keeps everything in this process and is
+            byte-identical to the pre-parallel sequential path.
+        cache: Optional persistent cache consulted before, and populated
+            after, every simulation.
+        registry: Parent obs registry.  In-process runs thread it through
+            the simulation directly; pooled runs fold per-worker snapshots
+            into it in submission order.
+        contexts: Optional mutable ``{setup: ExperimentContext}`` map for
+            in-process execution; prepared contexts are reused and fresh
+            ones are stored back for the caller (lazy construction).
+    """
+    results: List[Optional[SimulationMetrics]] = [None] * len(specs)
+
+    missing: List[int] = []
+    for index, spec in enumerate(specs):
+        cached = cache.get(spec) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            missing.append(index)
+
+    # Deduplicate misses on the canonical key; first occurrence wins,
+    # mirroring the in-memory memo's first-call-wins semantics.
+    order: Dict[Tuple, List[int]] = {}
+    unique: List[PointSpec] = []
+    for index in missing:
+        spec = specs[index]
+        key = (spec.setup, spec.memo_key())
+        slot = order.get(key)
+        if slot is None:
+            order[key] = [index]
+            unique.append(spec)
+        else:
+            slot.append(index)
+
+    if not unique:
+        return results  # type: ignore[return-value]
+
+    if jobs > 1 and len(unique) > 1:
+        for context in (contexts or {}).values():
+            register_context(context)  # inherited by forked workers
+        computed = _run_pooled(unique, jobs, registry)
+    else:
+        computed = _run_local(unique, registry, contexts)
+
+    for spec, metrics in zip(unique, computed):
+        if cache is not None:
+            cache.put(spec, metrics)
+        for index in order[(spec.setup, spec.memo_key())]:
+            results[index] = metrics
+    return results  # type: ignore[return-value]
+
+
+def _run_local(
+    specs: Sequence[PointSpec],
+    registry: Optional[MetricsRegistry],
+    contexts: Optional[Dict[ExperimentSetup, Any]],
+) -> List[SimulationMetrics]:
+    """The sequential path: run through (possibly shared) live contexts."""
+    from repro.experiments.runner import ExperimentContext
+
+    contexts = contexts if contexts is not None else {}
+    computed = []
+    for spec in specs:
+        context = contexts.get(spec.setup)
+        if context is None:
+            context = ExperimentContext.prepare(spec.setup, registry=registry)
+            contexts[spec.setup] = context
+        computed.append(
+            context.run_point(
+                spec.accuracy, spec.user_threshold, **dict(spec.overrides)
+            )
+        )
+    return computed
+
+
+def _run_pooled(
+    specs: Sequence[PointSpec],
+    jobs: int,
+    registry: Optional[MetricsRegistry],
+) -> List[SimulationMetrics]:
+    """Fan specs out across a process pool; gather in submission order."""
+    instrument = registry is not None and registry.enabled
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_spec_task, spec, instrument) for spec in specs
+        ]
+        outcomes = [future.result() for future in futures]
+    computed = []
+    for metrics, snapshot in outcomes:
+        computed.append(metrics)
+        if instrument and snapshot is not None:
+            registry.merge_snapshot(snapshot)
+    return computed

@@ -13,19 +13,35 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import SimulationMetrics
+from repro.experiments.cache import PointCache
 from repro.experiments.config import ExperimentSetup
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.sweeps import METRIC_EXTRACTORS
 
-#: Two-sided 95% t critical values for small sample sizes (df = n - 1);
-#: falls back to the normal 1.96 beyond the table.
+#: Two-sided 95% t critical values, tabulated exactly for df = n - 1 <= 10
+#: (where the t correction is large and replication counts actually live).
+#: For df > 10 we use the asymptotic normal value 1.96.  That fallback
+#: slightly *under-covers* for 10 < df < 30 — the true critical value
+#: decays from 2.201 (df=11) to 2.045 (df=29), so a nominal 95% interval
+#: built with 1.96 achieves roughly 93-95% coverage there — an acceptable
+#: bias for shape assertions, and exact again as df grows beyond ~30.
 _T_95 = {
     1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
     6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
 }
+
+#: Asymptotic two-sided 95% normal critical value (df > 10 fallback).
+_Z_95 = 1.96
+
+
+def _t_critical(df: int) -> float:
+    """The 95% critical value: exact table for df <= 10, else 1.96."""
+    if df <= 10:
+        return _T_95[df]
+    return _Z_95
 
 
 @dataclass(frozen=True)
@@ -63,7 +79,7 @@ def _summarise(metric: str, values: List[float]) -> ReplicatedMetric:
         return ReplicatedMetric(metric, tuple(values), mean, 0.0, 0.0)
     variance = sum((v - mean) ** 2 for v in values) / (n - 1)
     std = math.sqrt(variance)
-    t = _T_95.get(n - 1, 1.96)
+    t = _t_critical(n - 1)
     return ReplicatedMetric(
         metric, tuple(values), mean, std, t * std / math.sqrt(n)
     )
@@ -72,35 +88,85 @@ def _summarise(metric: str, values: List[float]) -> ReplicatedMetric:
 class ReplicatedExperiment:
     """Runs sweep points across several independent seeds.
 
+    Per-seed contexts (workload synthesis plus a worst-case-horizon
+    failure trace each) are built *lazily*, on first use: constructing a
+    20-seed experiment is free, and when every requested point resolves
+    from the persistent cache — or runs inside pool workers, which
+    rebuild contexts hermetically from the setup — the parent process
+    never prepares a context at all.
+
     Args:
         workload: ``"nasa"`` or ``"sdsc"``.
         job_count: Jobs per replication.
         seeds: The replication seeds; each gets its own workload, failure
             trace and detectability assignment (fully independent draws).
+        jobs: Worker processes for fanning per-seed points out (1 =
+            sequential, the pre-parallel behaviour).
+        cache: Optional persistent point cache shared by every seed.
     """
 
-    def __init__(self, workload: str, job_count: int, seeds: Sequence[int]) -> None:
+    def __init__(
+        self,
+        workload: str,
+        job_count: int,
+        seeds: Sequence[int],
+        jobs: int = 1,
+        cache: Optional[PointCache] = None,
+    ) -> None:
         if not seeds:
             raise ValueError("at least one seed is required")
-        self._contexts: List[ExperimentContext] = [
-            ExperimentContext.prepare(
-                ExperimentSetup(workload=workload, job_count=job_count, seed=seed)
-            )
-            for seed in seeds
-        ]
         self.seeds = tuple(seeds)
+        self.jobs = jobs
+        self.cache = cache
+        self._setups: List[ExperimentSetup] = [
+            ExperimentSetup(workload=workload, job_count=job_count, seed=seed)
+            for seed in self.seeds
+        ]
+        # Lazily populated by _run_specs' local path (keyed by setup) —
+        # exposed to tests as the "which seeds were actually prepared" map.
+        self._contexts: Dict[ExperimentSetup, ExperimentContext] = {}
+        # Parallel/cached paths bypass the per-context memo, so keep a
+        # replication-level one: {(a, U, overrides) -> per-seed metrics}.
+        self._memo: Dict[Tuple, List[SimulationMetrics]] = {}
 
     @property
     def replications(self) -> int:
+        return len(self._setups)
+
+    @property
+    def prepared_contexts(self) -> int:
+        """How many per-seed contexts have actually been built locally."""
         return len(self._contexts)
+
+    def _seed_metrics(
+        self, accuracy: float, user_threshold: float, overrides: Dict
+    ) -> List[SimulationMetrics]:
+        """One point's metrics across all seeds, via cache/pool/memo."""
+        from repro.experiments.parallel import PointSpec, run_specs
+
+        specs = [
+            PointSpec.create(setup, accuracy, user_threshold, overrides)
+            for setup in self._setups
+        ]
+        key = specs[0].memo_key()
+        memoised = self._memo.get(key)
+        if memoised is not None:
+            return memoised
+        metrics = run_specs(
+            specs,
+            jobs=self.jobs,
+            cache=self.cache,
+            contexts=self._contexts,
+        )
+        self._memo[key] = metrics
+        return metrics
 
     def run_point(
         self, accuracy: float, user_threshold: float, **overrides
     ) -> Dict[str, ReplicatedMetric]:
         """Replicate one ``(a, U)`` point; returns per-metric summaries."""
         observations: Dict[str, List[float]] = {m: [] for m in METRIC_EXTRACTORS}
-        for ctx in self._contexts:
-            metrics = ctx.run_point(accuracy, user_threshold, **overrides)
+        for metrics in self._seed_metrics(accuracy, user_threshold, overrides):
             for name, extract in METRIC_EXTRACTORS.items():
                 observations[name].append(extract(metrics))
         return {

@@ -33,6 +33,8 @@ def generate_report(
     seed: int = 20050628,
     figures: Optional[List[int]] = None,
     catalog: Optional[FigureCatalog] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> str:
     """Regenerate tables, figures and audits; return the full text report.
 
@@ -43,6 +45,9 @@ def generate_report(
         catalog: Optional pre-warmed catalog (its memoised contexts are
             reused; ``job_count``/``seed`` are ignored for workloads it
             already holds).
+        jobs: Worker processes for the sweep grids (1 = sequential).
+        cache: Optional persistent :class:`~repro.experiments.cache
+            .PointCache` making reruns of the whole report nearly free.
 
     Returns:
         The report as one string.
@@ -51,10 +56,14 @@ def generate_report(
     if catalog is None:
         catalog = FigureCatalog(
             sdsc=ExperimentContext.prepare(
-                ExperimentSetup(workload="sdsc", job_count=job_count, seed=seed)
+                ExperimentSetup(workload="sdsc", job_count=job_count, seed=seed),
+                jobs=jobs,
+                cache=cache,
             ),
             nasa=ExperimentContext.prepare(
-                ExperimentSetup(workload="nasa", job_count=job_count, seed=seed)
+                ExperimentSetup(workload="nasa", job_count=job_count, seed=seed),
+                jobs=jobs,
+                cache=cache,
             ),
         )
     figure_ids = figures if figures is not None else list(range(1, 13))

@@ -11,16 +11,20 @@ simulation per distinct parameter combination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.metrics import SimulationMetrics
 from repro.core.system import SimulationResult, SystemConfig, simulate
+from repro.experiments.cache import PointCache
 from repro.experiments.config import ExperimentSetup
 from repro.failures.events import FailureTrace
 from repro.failures.generator import FailureModelSpec, generate_failure_trace
 from repro.obs.registry import MetricsRegistry
 from repro.workload.job import JobLog
 from repro.workload.synthetic import log_by_name
+
+#: One batched sweep point: ``(a, U)`` or ``(a, U, overrides)``.
+Point = Union[Tuple[float, float], Tuple[float, float, Dict]]
 
 #: Pessimistic utilization floor used to bound the worst-case makespan when
 #: sizing the failure trace (a = 0 with heavy failure churn runs longest).
@@ -54,6 +58,12 @@ class ExperimentContext:
             context executes.  Counters then aggregate across the distinct
             (non-memoised) points a sweep runs — the "what did producing
             this figure actually do" view.
+        jobs: Worker processes :meth:`run_points` fans cache misses out
+            across (1 = fully sequential, the default and the byte-exact
+            pre-parallel behaviour).
+        cache: Optional persistent :class:`~repro.experiments.cache
+            .PointCache` consulted before, and populated after, every
+            simulated point.
     """
 
     setup: ExperimentSetup
@@ -61,6 +71,8 @@ class ExperimentContext:
     failures: FailureTrace
     _cache: Dict[Tuple, SimulationMetrics] = field(default_factory=dict)
     registry: Optional[MetricsRegistry] = None
+    jobs: int = 1
+    cache: Optional[PointCache] = None
 
     @classmethod
     def prepare(
@@ -69,6 +81,8 @@ class ExperimentContext:
         log: Optional[JobLog] = None,
         failures: Optional[FailureTrace] = None,
         registry: Optional[MetricsRegistry] = None,
+        jobs: int = 1,
+        cache: Optional[PointCache] = None,
     ) -> "ExperimentContext":
         """Build the context, synthesising whatever is not supplied.
 
@@ -87,7 +101,10 @@ class ExperimentContext:
                 spec=FailureModelSpec(nodes=setup.node_count),
                 seed=setup.seed,
             )
-        return cls(setup=setup, log=log, failures=failures, registry=registry)
+        return cls(
+            setup=setup, log=log, failures=failures, registry=registry,
+            jobs=jobs, cache=cache,
+        )
 
     # ------------------------------------------------------------------
     # Simulation points
@@ -129,6 +146,57 @@ class ExperimentContext:
         )
         self._cache[key] = result.metrics
         return result.metrics
+
+    def run_points(
+        self,
+        points: Sequence[Point],
+        jobs: Optional[int] = None,
+        cache: Optional[PointCache] = None,
+        **overrides,
+    ) -> List[SimulationMetrics]:
+        """Resolve a batch of sweep points, in order (memoised).
+
+        Each point is ``(a, U)`` or ``(a, U, per_point_overrides)``; the
+        keyword ``overrides`` apply to every point (per-point entries
+        win).  Resolution order per point: the in-memory memo, then the
+        persistent cache, then simulation — misses fan out across
+        ``jobs`` worker processes when ``jobs > 1``.  Results are
+        identical to calling :meth:`run_point` sequentially regardless of
+        worker count, completion order, or cache warmth; with ``jobs=1``
+        and no cache the execution path *is* the sequential one.
+        """
+        from repro.experiments.parallel import PointSpec, run_specs
+
+        jobs = self.jobs if jobs is None else jobs
+        cache = self.cache if cache is None else cache
+
+        keys = []
+        specs = []
+        for point in points:
+            accuracy, user_threshold = point[0], point[1]
+            merged = dict(overrides, **point[2]) if len(point) > 2 else overrides
+            spec = PointSpec.create(
+                self.setup, accuracy, user_threshold, merged
+            )
+            specs.append(spec)
+            keys.append(spec.memo_key())
+
+        results: List[Optional[SimulationMetrics]] = [
+            self._cache.get(key) for key in keys
+        ]
+        todo = [i for i, metrics in enumerate(results) if metrics is None]
+        if todo:
+            computed = run_specs(
+                [specs[i] for i in todo],
+                jobs=jobs,
+                cache=cache,
+                registry=self.registry,
+                contexts={self.setup: self},
+            )
+            for i, metrics in zip(todo, computed):
+                self._cache[keys[i]] = metrics
+                results[i] = metrics
+        return results  # type: ignore[return-value]
 
     def run_instrumented(
         self,

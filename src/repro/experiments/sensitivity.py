@@ -46,17 +46,26 @@ def sweep_checkpoint_interval(
     Defaults to the *periodic* policy because that is where ``I`` bites
     hardest (cooperative skipping hides mild mis-tuning — itself a finding
     worth demonstrating by passing ``checkpoint_policy="cooperative"``).
+
+    The sweep is submitted as one ``run_points`` batch (one point per
+    interval, via per-point overrides), so contexts configured with
+    ``jobs > 1`` or a persistent cache accelerate it like any figure grid.
     """
-    points = []
-    for interval in intervals:
-        metrics = ctx.run_point(
+    batch = [
+        (
             accuracy,
             user_threshold,
-            checkpoint_interval=float(interval),
-            checkpoint_policy=checkpoint_policy,
+            dict(
+                checkpoint_interval=float(interval),
+                checkpoint_policy=checkpoint_policy,
+            ),
         )
-        points.append(SensitivityPoint(value=float(interval), metrics=metrics))
-    return points
+        for interval in intervals
+    ]
+    return [
+        SensitivityPoint(value=float(interval), metrics=metrics)
+        for interval, metrics in zip(intervals, ctx.run_points(batch))
+    ]
 
 
 def sweep_checkpoint_overhead(
@@ -66,17 +75,22 @@ def sweep_checkpoint_overhead(
     user_threshold: float = 0.5,
     checkpoint_policy: str = "cooperative",
 ) -> List[SensitivityPoint]:
-    """Outcomes versus the checkpoint overhead ``C``."""
-    points = []
-    for overhead in overheads:
-        metrics = ctx.run_point(
+    """Outcomes versus the checkpoint overhead ``C`` (one batch)."""
+    batch = [
+        (
             accuracy,
             user_threshold,
-            checkpoint_overhead=float(overhead),
-            checkpoint_policy=checkpoint_policy,
+            dict(
+                checkpoint_overhead=float(overhead),
+                checkpoint_policy=checkpoint_policy,
+            ),
         )
-        points.append(SensitivityPoint(value=float(overhead), metrics=metrics))
-    return points
+        for overhead in overheads
+    ]
+    return [
+        SensitivityPoint(value=float(overhead), metrics=metrics)
+        for overhead, metrics in zip(overheads, ctx.run_points(batch))
+    ]
 
 
 def sweep_failure_rate(
@@ -89,6 +103,9 @@ def sweep_failure_rate(
 
     Each point regenerates the failure trace (same seed, different rate) so
     burst structure is held statistically constant while intensity scales.
+    Because the *trace* — not the config — varies, these points are outside
+    what a :class:`~repro.experiments.parallel.PointSpec` can describe and
+    the sweep stays sequential and uncached.
     """
     points = []
     horizon = estimate_horizon(ctx.log, ctx.setup.node_count)

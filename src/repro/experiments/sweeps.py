@@ -47,13 +47,20 @@ def accuracy_sweep(
     """``metric`` versus prediction accuracy, one series per ``U``.
 
     This is the engine behind Figures 1-6: for each highlighted user
-    strategy, simulate every accuracy on the grid.
+    strategy, simulate every accuracy on the grid.  The whole grid is
+    submitted as one :meth:`~repro.experiments.runner.ExperimentContext
+    .run_points` batch, so a context configured with ``jobs > 1`` runs
+    the misses in parallel.
     """
     extract = METRIC_EXTRACTORS[metric]
+    grid = [(a, u) for u in user_thresholds for a in accuracies]
+    metrics = ctx.run_points(grid, **overrides)
     series = []
-    for u in user_thresholds:
+    for row, u in enumerate(user_thresholds):
+        offset = row * len(accuracies)
         points = tuple(
-            (a, extract(ctx.run_point(a, u, **overrides))) for a in accuracies
+            (a, extract(metrics[offset + col]))
+            for col, a in enumerate(accuracies)
         )
         series.append(Series(label=f"U={u:g}", points=points))
     return series
@@ -68,9 +75,11 @@ def user_sweep(
 ) -> Series:
     """``metric`` versus user threshold at fixed accuracy (Figures 7-12)."""
     extract = METRIC_EXTRACTORS[metric]
+    metrics = ctx.run_points(
+        [(accuracy, u) for u in user_thresholds], **overrides
+    )
     points = tuple(
-        (u, extract(ctx.run_point(accuracy, u, **overrides)))
-        for u in user_thresholds
+        (u, extract(m)) for u, m in zip(user_thresholds, metrics)
     )
     return Series(label=f"a={accuracy:g}", points=points)
 
@@ -83,8 +92,9 @@ def endpoint_comparison(
     Returns ``{metric: (value at a=0, value at a=1)}`` — the paper's "as
     much as 6% QoS/utilization improvement, ~9x lost-work reduction".
     """
-    baseline = ctx.run_point(0.0, user_threshold, **overrides)
-    perfect = ctx.run_point(1.0, user_threshold, **overrides)
+    baseline, perfect = ctx.run_points(
+        [(0.0, user_threshold), (1.0, user_threshold)], **overrides
+    )
     return {
         name: (extract(baseline), extract(perfect))
         for name, extract in METRIC_EXTRACTORS.items()

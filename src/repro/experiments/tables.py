@@ -46,7 +46,12 @@ def table_1(
     seed: Optional[int] = None,
     job_count: Optional[int] = None,
 ) -> List[Table1Row]:
-    """Compute Table 1 for the given (or bundled synthetic) logs."""
+    """Compute Table 1 for the given (or bundled synthetic) logs.
+
+    Tables are pure workload statistics — no simulation points run — so
+    the ``probqos table`` subcommand accepts ``--jobs``/``--cache-dir``
+    only for batch-pipeline uniformity; neither affects this function.
+    """
     if logs is None:
         logs = [
             log_by_name("nasa", seed=seed, job_count=job_count),

@@ -222,6 +222,54 @@ class MetricsRegistry:
         self.histogram(name, buckets).observe(value)
 
     # ------------------------------------------------------------------
+    # Aggregation (parallel experiment execution)
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's totals into this one (returns self).
+
+        Counter and histogram merging is associative and commutative up to
+        float summation order, so per-worker registries can be folded in
+        any grouping.  Gauges are levels, not totals: the merged value is
+        simply the other registry's last level (last-write-wins), which is
+        the only meaningful choice for point-in-time readings.
+        """
+        return self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Fold a ``snapshot()``-shaped dict into this registry.
+
+        This is the cross-process form of :meth:`merge`: pool workers
+        cannot ship live instrument objects back to the parent, so they
+        return ``registry.snapshot()`` and the parent folds the dicts in a
+        deterministic (submission) order.
+        """
+        if not self.enabled:
+            return self
+        for name, total in snapshot.get("counters", {}).items():
+            self.counter(name).inc(total)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            buckets = data["buckets"]
+            bounds = tuple(b["le"] for b in buckets if b["le"] != "inf")
+            histogram = self.histogram(name, bounds)
+            for idx, bucket in enumerate(buckets):
+                histogram.bucket_counts[idx] += bucket["count"]
+            histogram.count += data["count"]
+            histogram.sum += data["sum"]
+            for side, better in (("min", min), ("max", max)):
+                incoming = data.get(side)
+                if incoming is None:
+                    continue
+                current = getattr(histogram, side)
+                setattr(
+                    histogram,
+                    side,
+                    incoming if current is None else better(current, incoming),
+                )
+        return self
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def metric_names(self) -> List[str]:

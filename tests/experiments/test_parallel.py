@@ -1,0 +1,283 @@
+"""Determinism and equivalence tests for parallel execution + caching.
+
+The tentpole guarantee: ``run_points`` returns bit-identical metrics
+whether points run sequentially, across a process pool, or from a warm
+on-disk cache — and per-worker obs registries merge into the same counter
+totals the sequential path accumulates.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments.cache import (
+    CACHE_FORMAT_VERSION,
+    PointCache,
+    metrics_from_dict,
+    metrics_to_dict,
+    spec_key,
+)
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.parallel import PointSpec, run_specs
+from repro.experiments.replication import ReplicatedExperiment
+from repro.experiments.runner import ExperimentContext
+from repro.obs.registry import MetricsRegistry
+
+SETUP = ExperimentSetup(workload="sdsc", job_count=60, seed=7)
+
+#: A small (a, U) grid — enough points that pool scheduling order and
+#: completion order genuinely differ from submission order.
+GRID = [(a, u) for a in (0.0, 0.5, 1.0) for u in (0.1, 0.9)]
+
+
+@pytest.fixture(scope="module")
+def sequential_metrics():
+    return ExperimentContext.prepare(SETUP).run_points(GRID)
+
+
+class TestPointSpec:
+    def test_picklable(self):
+        spec = PointSpec.create(SETUP, 0.5, 0.9, {"checkpoint_policy": "never"})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_canonical_is_json_stable(self):
+        spec = PointSpec.create(SETUP, 0.5, 0.9, {"placement": "random"})
+        a = json.dumps(spec.canonical(), sort_keys=True)
+        b = json.dumps(spec.canonical(), sort_keys=True)
+        assert a == b
+
+    def test_memo_key_matches_runner_rounding(self):
+        # 0.1 * 3 != 0.3 exactly; the memo key must treat them as one point.
+        lhs = PointSpec.create(SETUP, 0.1 * 3, 0.9, {})
+        rhs = PointSpec.create(SETUP, 0.3, 0.9, {})
+        assert lhs.memo_key() == rhs.memo_key()
+        assert spec_key(lhs) == spec_key(rhs)
+
+    def test_key_depends_on_setup_and_overrides(self):
+        base = PointSpec.create(SETUP, 0.5, 0.9, {})
+        other_seed = PointSpec.create(
+            ExperimentSetup(workload="sdsc", job_count=60, seed=8), 0.5, 0.9, {}
+        )
+        other_override = PointSpec.create(SETUP, 0.5, 0.9, {"topology": "ring"})
+        keys = {spec_key(base), spec_key(other_seed), spec_key(other_override)}
+        assert len(keys) == 3
+
+
+class TestPointCache:
+    def test_round_trip_is_exact(self, tmp_path, sequential_metrics):
+        cache = PointCache(tmp_path)
+        spec = PointSpec.create(SETUP, 0.0, 0.1, {})
+        cache.put(spec, sequential_metrics[0])
+        loaded = cache.get(spec)
+        # Frozen dataclass equality covers every field; floats must
+        # round-trip bit-identically through JSON.
+        assert loaded == sequential_metrics[0]
+        assert cache.stats == {"hits": 1, "misses": 0, "writes": 1}
+
+    def test_miss_then_hit(self, tmp_path, sequential_metrics):
+        cache = PointCache(tmp_path)
+        spec = PointSpec.create(SETUP, 1.0, 0.9, {})
+        assert cache.get(spec) is None
+        cache.put(spec, sequential_metrics[-1])
+        assert cache.get(spec) is not None
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, sequential_metrics):
+        cache = PointCache(tmp_path)
+        spec = PointSpec.create(SETUP, 0.5, 0.1, {})
+        cache.put(spec, sequential_metrics[0])
+        (path,) = list(cache.root.glob("*/*.json"))
+        path.write_text("{ truncated")
+        assert cache.get(spec) is None
+
+    def test_format_version_in_key(self, sequential_metrics):
+        spec = PointSpec.create(SETUP, 0.5, 0.1, {})
+        payload = json.dumps(
+            {"format": CACHE_FORMAT_VERSION, "spec": spec.canonical()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        import hashlib
+
+        assert spec_key(spec) == hashlib.sha256(payload.encode()).hexdigest()
+
+    def test_metrics_dict_round_trip(self, sequential_metrics):
+        m = sequential_metrics[0]
+        assert metrics_from_dict(json.loads(json.dumps(metrics_to_dict(m)))) == m
+
+
+class TestRunPointsDeterminism:
+    """jobs=1, jobs=4, and a warm cache must agree bit for bit."""
+
+    def test_pool_matches_sequential(self, sequential_metrics):
+        pooled = ExperimentContext.prepare(SETUP, jobs=4).run_points(GRID)
+        assert pooled == sequential_metrics
+
+    def test_warm_cache_matches_sequential(self, tmp_path, sequential_metrics):
+        cache = PointCache(tmp_path)
+        cold = ExperimentContext.prepare(SETUP, jobs=4, cache=cache).run_points(GRID)
+        assert cold == sequential_metrics
+        assert cache.writes == len(GRID)
+
+        warm_cache = PointCache(tmp_path)
+        warm = ExperimentContext.prepare(SETUP, cache=warm_cache).run_points(GRID)
+        assert warm == sequential_metrics
+        assert warm_cache.stats == {
+            "hits": len(GRID), "misses": 0, "writes": 0,
+        }
+
+    def test_result_order_is_submission_order(self, sequential_metrics):
+        reversed_grid = list(reversed(GRID))
+        pooled = ExperimentContext.prepare(SETUP, jobs=2).run_points(reversed_grid)
+        assert pooled == list(reversed(sequential_metrics))
+
+    def test_duplicate_points_simulated_once(self, tmp_path):
+        cache = PointCache(tmp_path)
+        ctx = ExperimentContext.prepare(SETUP, jobs=2, cache=cache)
+        twice = ctx.run_points([(0.5, 0.5), (0.5, 0.5)])
+        assert twice[0] == twice[1]
+        assert cache.writes == 1
+
+    def test_per_point_overrides_match_run_point(self):
+        ctx = ExperimentContext.prepare(SETUP)
+        expected = ctx.run_point(0.5, 0.5, checkpoint_policy="periodic")
+        batch = ExperimentContext.prepare(SETUP, jobs=2).run_points(
+            [(0.5, 0.5, dict(checkpoint_policy="periodic")), (0.5, 0.5)]
+        )
+        assert batch[0] == expected
+        assert batch[1] != expected  # the policy override really applied
+
+    def test_pool_merges_worker_counters_exactly(self, sequential_metrics):
+        seq_registry = MetricsRegistry()
+        ExperimentContext.prepare(SETUP, registry=seq_registry).run_points(GRID)
+        pool_registry = MetricsRegistry()
+        ExperimentContext.prepare(SETUP, jobs=3, registry=pool_registry).run_points(GRID)
+
+        assert (
+            pool_registry.snapshot()["counters"]
+            == seq_registry.snapshot()["counters"]
+        )
+        # Histogram *timers* record wall clock and cannot match exactly;
+        # sample counts are deterministic and must.
+        seq_hists = seq_registry.snapshot()["histograms"]
+        pool_hists = pool_registry.snapshot()["histograms"]
+        assert {n: h["count"] for n, h in pool_hists.items()} == {
+            n: h["count"] for n, h in seq_hists.items()
+        }
+
+
+class TestRunSpecs:
+    def test_contexts_map_reused_and_populated(self):
+        contexts = {}
+        specs = [PointSpec.create(SETUP, 0.5, 0.5, {})]
+        first = run_specs(specs, contexts=contexts)
+        assert SETUP in contexts  # lazily built and handed back
+        again = run_specs(specs, contexts=contexts)
+        assert again == first
+        assert contexts[SETUP].cached_points >= 1
+
+
+class TestRegistryMerge:
+    def _registry(self, counter_values, hist_samples):
+        registry = MetricsRegistry()
+        for name, value in counter_values.items():
+            registry.counter(name).inc(value)
+        for value in hist_samples:
+            registry.histogram("layer.comp.depth").observe(value)
+        return registry
+
+    def test_counter_merge_sums(self):
+        a = self._registry({"layer.comp.x": 2.0}, [])
+        b = self._registry({"layer.comp.x": 3.0, "layer.comp.y": 1.0}, [])
+        merged = a.merge(b).snapshot()["counters"]
+        assert merged == {"layer.comp.x": 5.0, "layer.comp.y": 1.0}
+
+    def test_merge_is_associative(self):
+        def fresh():
+            return (
+                self._registry({"layer.comp.x": 1.0}, [1, 5]),
+                self._registry({"layer.comp.x": 2.0}, [2]),
+                self._registry({"layer.comp.x": 4.0, "layer.comp.y": 8.0}, [600]),
+            )
+
+        a, b, c = fresh()
+        left = MetricsRegistry().merge(a.merge(b)).merge(c).snapshot()
+        a, b, c = fresh()
+        right = MetricsRegistry().merge(a).merge(b.merge(c)).snapshot()
+        assert left["counters"] == right["counters"]
+        assert left["histograms"] == right["histograms"]
+
+    def test_histogram_merge_aggregates_sidecars(self):
+        a = self._registry({}, [1, 2])
+        b = self._registry({}, [1000])
+        merged = a.merge(b).snapshot()["histograms"]["layer.comp.depth"]
+        assert merged["count"] == 3
+        assert merged["sum"] == 1003.0
+        assert merged["min"] == 1.0
+        assert merged["max"] == 1000.0
+        assert merged["buckets"][-1]["count"] == 1  # 1000 > top bound 512
+
+    def test_merge_snapshot_round_trips_json(self):
+        a = self._registry({"layer.comp.x": 1.5}, [3])
+        snapshot = json.loads(json.dumps(a.snapshot()))
+        merged = MetricsRegistry().merge_snapshot(snapshot).snapshot()
+        assert merged["counters"] == a.snapshot()["counters"]
+        assert merged["histograms"] == a.snapshot()["histograms"]
+
+    def test_mismatched_buckets_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("layer.comp.h", buckets=(1, 2))
+        b = MetricsRegistry()
+        b.histogram("layer.comp.h", buckets=(1, 2, 3)).observe(1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_null_registry_merge_is_inert(self):
+        from repro.obs.registry import NULL_REGISTRY
+
+        live = self._registry({"layer.comp.x": 5.0}, [1])
+        assert NULL_REGISTRY.merge(live).snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestLazyReplication:
+    def test_construction_builds_no_contexts(self):
+        experiment = ReplicatedExperiment("sdsc", job_count=40, seeds=range(1, 21))
+        assert experiment.replications == 20
+        assert experiment.prepared_contexts == 0
+
+    def test_sequential_run_builds_only_used_seeds(self):
+        experiment = ReplicatedExperiment("sdsc", job_count=40, seeds=[1, 2, 3])
+        experiment.run_point(0.5, 0.5)
+        assert experiment.prepared_contexts == 3
+
+    def test_warm_cache_run_builds_no_contexts(self, tmp_path):
+        seeds = [1, 2, 3]
+        warmup = ReplicatedExperiment(
+            "sdsc", job_count=40, seeds=seeds, cache=PointCache(tmp_path)
+        )
+        expected = warmup.run_point(0.5, 0.5)
+
+        cached = ReplicatedExperiment(
+            "sdsc", job_count=40, seeds=seeds, cache=PointCache(tmp_path)
+        )
+        summaries = cached.run_point(0.5, 0.5)
+        assert cached.prepared_contexts == 0  # every seed hit the cache
+        assert {
+            name: summary.values for name, summary in summaries.items()
+        } == {name: summary.values for name, summary in expected.items()}
+
+    def test_parallel_replication_matches_sequential(self):
+        sequential = ReplicatedExperiment("sdsc", job_count=40, seeds=[1, 2, 3])
+        pooled = ReplicatedExperiment(
+            "sdsc", job_count=40, seeds=[1, 2, 3], jobs=3
+        )
+        assert (
+            pooled.run_point(0.7, 0.9)["qos"].values
+            == sequential.run_point(0.7, 0.9)["qos"].values
+        )

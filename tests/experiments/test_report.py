@@ -56,7 +56,7 @@ class TestGenerateReport:
     def test_cli_report_command(self, capsys):
         from repro.cli import main
 
-        code = main(["report", "--jobs", "40", "--seed", "5", "--figures", "7"])
+        code = main(["report", "--job-count", "40", "--seed", "5", "--figures", "7"])
         assert code == 0
         out = capsys.readouterr().out
         assert "probqos evaluation report" in out

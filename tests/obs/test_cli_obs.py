@@ -23,7 +23,7 @@ class TestRunWithObs:
             [
                 "run",
                 "--workload", "nasa",
-                "--jobs", "120",
+                "--job-count", "120",
                 "--seed", "5",
                 "-a", "0.5",
                 "-U", "0.5",
@@ -84,7 +84,7 @@ class TestFigureAndTableWithObs:
     def test_figure_obs_aggregates_sweep_counters(self, tmp_path, capsys):
         path = tmp_path / "fig.json"
         code = main(
-            ["figure", "7", "--jobs", "40", "--seed", "5", "--obs", str(path)]
+            ["figure", "7", "--job-count", "40", "--seed", "5", "--obs", str(path)]
         )
         assert code == 0
         report = load_report(str(path))

@@ -9,7 +9,7 @@ from repro.cli import main
 
 class TestTables:
     def test_table_1(self, capsys):
-        assert main(["table", "1", "--jobs", "300", "--seed", "5"]) == 0
+        assert main(["table", "1", "--job-count", "300", "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "NASA" in out and "SDSC" in out
@@ -31,7 +31,7 @@ class TestRun:
                 "run",
                 "--workload",
                 "nasa",
-                "--jobs",
+                "--job-count",
                 "60",
                 "--seed",
                 "5",
@@ -52,7 +52,7 @@ class TestRun:
                 "run",
                 "--workload",
                 "nasa",
-                "--jobs",
+                "--job-count",
                 "40",
                 "--seed",
                 "5",
@@ -66,14 +66,14 @@ class TestRun:
 
 class TestFigureAndHeadline:
     def test_figure_7_small(self, capsys):
-        assert main(["figure", "7", "--jobs", "40", "--seed", "5"]) == 0
+        assert main(["figure", "7", "--job-count", "40", "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "Figure 7" in out
         assert "User Parameter (U)" in out
 
     def test_headline_small(self, capsys):
         assert (
-            main(["headline", "--workload", "nasa", "--jobs", "40", "--seed", "5"])
+            main(["headline", "--workload", "nasa", "--job-count", "40", "--seed", "5"])
             == 0
         )
         assert "Headline comparison" in capsys.readouterr().out
@@ -86,7 +86,7 @@ class TestSuggest:
                 "suggest",
                 "--workload",
                 "nasa",
-                "--jobs",
+                "--job-count",
                 "10",
                 "--seed",
                 "5",
@@ -122,7 +122,7 @@ class TestExportAndGantt:
                 str(tmp_path / "bundle"),
                 "--workload",
                 "nasa",
-                "--jobs",
+                "--job-count",
                 "25",
                 "--seed",
                 "5",
@@ -140,7 +140,7 @@ class TestExportAndGantt:
                 "gantt",
                 "--workload",
                 "nasa",
-                "--jobs",
+                "--job-count",
                 "10",
                 "--nodes",
                 "8",

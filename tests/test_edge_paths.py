@@ -161,6 +161,6 @@ class TestCliFigureEight:
     def test_two_workload_figure(self, capsys):
         from repro.cli import main
 
-        assert main(["figure", "8", "--jobs", "30", "--seed", "5"]) == 0
+        assert main(["figure", "8", "--job-count", "30", "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "SDSC" in out and "NASA" in out

@@ -40,7 +40,7 @@ def test_perf_harness_smoke(tmp_path):
     assert result.returncode == 0, result.stderr
 
     report = json.loads(out.read_text())
-    assert report["schema"] == 2
+    assert report["schema"] == 3
     assert report["preset"] == "smoke"
     scenarios = report["scenarios"]
     for name in ("find_slot_deep_queue", "negotiation_dialogue"):
@@ -53,3 +53,20 @@ def test_perf_harness_smoke(tmp_path):
         # Schema 2: every scenario embeds counter totals from one
         # instrumented (non-timed) rerun.
         assert data["obs"]["cluster.ledger.find_slot_calls"] > 0
+
+    # Schema 3: the figures_grid scenario (sequential vs pool vs warm
+    # cache).  No timing assertions — only identity and plausibility.
+    grid = scenarios["figures_grid"]
+    assert grid["answers_identical"]
+    assert grid["sequential"]["median_s"] > 0
+    assert grid["parallel"]["median_s"] > 0
+    assert grid["warm_cache"]["median_s"] > 0
+    assert grid["speedup_warm"] > 0
+    # The warm rerun resolved every point from the on-disk cache.
+    assert grid["cache"]["hits"] == grid["params"]["points"]
+    assert grid["cache"]["misses"] == 0
+    # The obs block is the merge of per-worker registries: every job of
+    # every grid point must be accounted for.
+    assert grid["obs"]["core.system.jobs_completed"] == (
+        grid["params"]["grid_jobs"] * grid["params"]["points"]
+    )
