@@ -14,6 +14,8 @@ Examples::
     probqos export bundles/sdsc-seed7 --workload sdsc --job-count 10000
     probqos run --workload nasa --obs obs.json --obs-interval 1800
     probqos obs summarize obs.json
+    probqos lint src tests
+    probqos lint --format json --select QOS101,QOS102 src
 
 ``--jobs N`` fans independent simulation points out over N worker
 processes; ``--cache-dir PATH`` persists every simulated point on disk so
@@ -126,6 +128,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_env_args(report)
     _add_parallel_args(report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & sim-safety static analysis (QOS rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to enable exclusively",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to disable",
+    )
     return parser
 
 
@@ -432,6 +464,17 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(
+        args.paths,
+        output_format=args.output_format,
+        select=args.select,
+        ignore=args.ignore,
+    )
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -463,6 +506,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gantt": _cmd_gantt,
         "report": _cmd_report,
         "obs": _cmd_obs,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -8,7 +8,7 @@ also hosts so callers deal with a single façade.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.node import Node, NodeState
 from repro.cluster.reservations import ReservationLedger
@@ -64,9 +64,13 @@ class Cluster:
         """Indexes of nodes currently up."""
         return [n.index for n in self._nodes if n.is_up]
 
-    def running_jobs(self) -> Set[int]:
-        """Ids of jobs currently executing."""
-        return set(self._job_nodes)
+    def running_jobs(self) -> List[int]:
+        """Ids of jobs currently executing, in ascending id order.
+
+        Sorted so callers iterating it (e.g. the EASY backfill release
+        scan) see an order independent of job start/removal history.
+        """
+        return sorted(self._job_nodes)
 
     def nodes_of(self, job_id: int) -> List[int]:
         """Node indexes the running job occupies."""

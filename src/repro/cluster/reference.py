@@ -24,7 +24,7 @@ layers can run unmodified on top of either ledger.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.reservations import (
     CapacityProfile,
@@ -170,12 +170,12 @@ class SeedReservationLedger:
     def free_nodes(self, start: float, end: float) -> List[int]:
         return [n for n in range(self._n) if self.node_free(n, start, end)]
 
-    def busy_jobs_at(self, time: float) -> Set[int]:
-        return {
+    def busy_jobs_at(self, time: float) -> List[int]:
+        return sorted(
             r.job_id
             for r in self._by_job.values()
             if r.start <= time < r.end
-        }
+        )
 
     def candidate_times(self, earliest: float, limit: Optional[int] = None) -> List[float]:
         idx = bisect.bisect_right(self._end_times, earliest)

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
@@ -401,13 +401,13 @@ class ReservationLedger:
                 result.append(n)
         return result
 
-    def busy_jobs_at(self, time: float) -> Set[int]:
-        """Ids of jobs whose reservation covers ``time``."""
-        return {
+    def busy_jobs_at(self, time: float) -> List[int]:
+        """Ids of jobs whose reservation covers ``time``, ascending."""
+        return sorted(
             r.job_id
             for r in self._by_job.values()
             if r.start <= time < r.end
-        }
+        )
 
     def candidate_times(self, earliest: float, limit: Optional[int] = None) -> List[float]:
         """Start times worth probing: ``earliest`` plus booking end points.

@@ -127,7 +127,7 @@ def calibration_gap(outcomes: Iterable[JobOutcome]) -> Optional[float]:
         kept = 1.0 if outcome.met_deadline else 0.0
         weighted_gap += work * abs(outcome.guarantee.probability - kept)
         total_work += work
-    if total_work == 0.0:
+    if total_work == 0.0:  # qoslint: disable=QOS104 -- exact-zero guard: only the empty sum produces literal 0.0 here
         return None
     return weighted_gap / total_work
 

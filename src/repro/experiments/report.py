@@ -52,7 +52,7 @@ def generate_report(
     Returns:
         The report as one string.
     """
-    started = time.time()
+    started = time.time()  # qoslint: disable=QOS102 -- report footer timing: human-facing elapsed line, not part of any simulated result
     if catalog is None:
         catalog = FigureCatalog(
             sdsc=ExperimentContext.prepare(
@@ -100,7 +100,7 @@ def generate_report(
             f"  a={accuracy:3.1f}: gap={gap:.4f}  brier={score:.4f}"
         )
 
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # qoslint: disable=QOS102 -- report footer timing: human-facing elapsed line, not part of any simulated result
     sections.append("")
     sections.append(f"(report generated in {elapsed:.1f}s)")
     sections.append(_RULE)

@@ -153,7 +153,10 @@ class FailureTrace:
         if end < start:
             raise ValueError(f"window end {end} precedes start {start}")
         hits: List[FailureEvent] = []
-        for node in nodes:
+        # Dedupe and order the node set: a caller passing a node twice must
+        # not see its failures twice, and the explicit sort keeps the scan
+        # order independent of the caller's container type.
+        for node in sorted(set(nodes)):
             times = self._node_times.get(node)
             if not times:
                 continue

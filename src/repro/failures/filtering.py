@@ -21,7 +21,7 @@ the recovered trace is to the truth) is measurable; see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.failures.events import FailureEvent, FailureTrace, RawEvent, Severity
 
@@ -47,7 +47,7 @@ class FilterSpec:
 
 def filter_raw_log(
     records: Iterable[RawEvent],
-    spec: FilterSpec = FilterSpec(),
+    spec: Optional[FilterSpec] = None,
     name: str = "filtered",
 ) -> FailureTrace:
     """Reduce a raw event log to a failure trace.
@@ -61,6 +61,7 @@ def filter_raw_log(
         A :class:`FailureTrace` with one event per inferred root cause; the
         event takes the time/node of the cluster's first critical record.
     """
+    spec = spec if spec is not None else FilterSpec()
     critical = sorted(
         (r for r in records if r.severity >= spec.min_severity),
         key=lambda r: (r.time, r.node),

@@ -32,7 +32,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.failures.events import FailureEvent, FailureTrace, RawEvent, Severity
-from repro.sim.rng import substream
+from repro.sim.rng import stable_hash, substream
 from repro.workload.models import diurnal_weights
 
 #: Subsystems failures originate from, with relative frequency.
@@ -211,7 +211,7 @@ def generate_raw_log(
                     node=failure.node,
                     severity=Severity.FATAL if k else Severity.FAILURE,
                     subsystem=failure.subsystem,
-                    message_id=1000 + hash(failure.subsystem) % 100,
+                    message_id=1000 + stable_hash(failure.subsystem) % 100,
                     root_cause=cause,
                 )
             )
@@ -231,7 +231,7 @@ def generate_raw_log(
                         if rng.random() < 0.5
                         else Severity.WARNING,
                         subsystem=failure.subsystem,
-                        message_id=500 + hash(failure.subsystem) % 100,
+                        message_id=500 + stable_hash(failure.subsystem) % 100,
                         root_cause=cause,
                     )
                 )

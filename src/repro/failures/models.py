@@ -40,7 +40,7 @@ class RenewalSpec:
 
 def generate_renewal_trace(
     duration: float,
-    spec: RenewalSpec = RenewalSpec(),
+    spec: Optional[RenewalSpec] = None,
     seed: Optional[int] = None,
 ) -> FailureTrace:
     """Generate failures as independent per-node renewal processes.
@@ -52,6 +52,7 @@ def generate_renewal_trace(
     Returns:
         A :class:`FailureTrace` named ``renewal-exp`` or ``renewal-weibull``.
     """
+    spec = spec if spec is not None else RenewalSpec()
     if duration <= 0:
         raise ValueError(f"duration must be > 0, got {duration}")
     if spec.shape <= 0:

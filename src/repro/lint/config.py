@@ -1,0 +1,100 @@
+"""Per-path lint configuration: layers, allowlists, rule selection.
+
+The rules are *repo-specific*: what counts as a violation depends on where
+the code lives.  A wall-clock read inside :mod:`repro.obs` is the whole
+point of that layer; the same call inside :mod:`repro.sim` silently breaks
+replay determinism.  :class:`LintConfig` encodes that map once so every
+rule asks the same questions (:meth:`is_sim_layer`, :meth:`is_library`)
+instead of re-deriving path semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+#: Packages whose modules are "sim layers": code that runs inside (or
+#: feeds) the deterministic simulation and therefore must be bit-stable
+#: across replays, worker counts, and interpreter restarts.
+SIM_LAYER_PACKAGES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.cluster",
+    "repro.scheduling",
+    "repro.checkpointing",
+    "repro.failures",
+    "repro.core",
+)
+
+#: The one module allowed to touch RNG machinery directly: every stream in
+#: the library is derived here from explicit seeds (QOS101).
+RNG_MODULE = "repro.sim.rng"
+
+#: Packages exempt from the wall-clock rule (QOS102): the instrumentation
+#: layer measures wall time by design, and its timers never feed sim state.
+WALLCLOCK_EXEMPT_PACKAGES: Tuple[str, ...] = ("repro.obs",)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file inside the ``repro`` package, else ``""``.
+
+    ``src/repro/sim/engine.py`` → ``repro.sim.engine``;
+    ``tests/sim/test_engine.py`` → ``""`` (not library code).
+    """
+    parts = path.replace("\\", "/").split("/")
+    try:
+        start = parts.index("repro")
+    except ValueError:
+        return ""
+    dotted = parts[start:]
+    if not dotted[-1].endswith(".py"):
+        return ""
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def _in_packages(module: str, packages: Tuple[str, ...]) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in packages
+    )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable lint run configuration.
+
+    Attributes:
+        select: If set, only these codes are active (``--select``).
+        ignore: Codes disabled outright (``--ignore``).
+        sim_layer_packages: Dotted prefixes classified as sim layers.
+        rng_module: The module exempt from the global-RNG rule.
+        wallclock_exempt_packages: Packages exempt from the wall-clock rule.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    sim_layer_packages: Tuple[str, ...] = SIM_LAYER_PACKAGES
+    rng_module: str = RNG_MODULE
+    wallclock_exempt_packages: Tuple[str, ...] = field(
+        default=WALLCLOCK_EXEMPT_PACKAGES
+    )
+
+    def code_enabled(self, code: str) -> bool:
+        """Whether findings with ``code`` survive ``--select``/``--ignore``."""
+        if code in self.ignore:
+            return False
+        if self.select is not None:
+            return code in self.select
+        return True
+
+    def is_library(self, module: str) -> bool:
+        """True for modules shipped inside the ``repro`` package."""
+        return module.startswith("repro.") or module == "repro"
+
+    def is_sim_layer(self, module: str) -> bool:
+        """True for modules under the deterministic sim-layer packages."""
+        return _in_packages(module, self.sim_layer_packages)
+
+    def is_wallclock_exempt(self, module: str) -> bool:
+        return _in_packages(module, self.wallclock_exempt_packages)

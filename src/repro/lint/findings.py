@@ -1,0 +1,67 @@
+"""Finding records produced by the determinism & sim-safety lint pass.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+sort by ``(path, line, col, code)`` so reports are stable regardless of the
+order rules ran in — the linter holds itself to the same determinism
+contract it enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class LintSeverity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break the determinism contract outright (hidden RNG
+    state, wall-clock reads on sim paths); ``WARNING`` findings are fragile
+    patterns that usually precede one (float equality, shared mutable
+    defaults).  Both are reported and both fail the CI gate — the split
+    exists so downstream tooling can prioritise, not so warnings can rot.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: File the finding is in, as given to the linter.
+        line: 1-based line of the offending expression (suppression
+            comments must sit on exactly this line).
+        col: 0-based column offset.
+        code: Rule code, e.g. ``"QOS101"``.
+        message: Human-readable explanation with the suggested fix.
+        severity: See :class:`LintSeverity`.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = field(compare=False)
+    severity: LintSeverity = field(compare=False, default=LintSeverity.ERROR)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the ``--format json`` row)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+    def render(self) -> str:
+        """The one-line ``--format text`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )

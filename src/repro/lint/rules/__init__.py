@@ -1,0 +1,23 @@
+"""The repo-specific rule set (QOS101-QOS110).
+
+Importing this package registers every rule with the engine registry;
+:func:`repro.lint.engine.all_rules` does so lazily.  Each module groups the
+rules policing one determinism failure mode; the rule docstrings and
+``rationale`` attributes are the authoritative statement of the contract
+(DESIGN.md "Static analysis & the determinism contract" mirrors them).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401
+    defaults,
+    env,
+    excepts,
+    floats,
+    hashing,
+    ordering,
+    pickling,
+    rng,
+    state,
+    wallclock,
+)

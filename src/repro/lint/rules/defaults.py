@@ -1,0 +1,73 @@
+"""QOS105 — defaults evaluated once and shared across calls.
+
+A mutable default (``def f(xs=[])``) is the classic shared-state bug; a
+*call* default (``def f(cfg=Config())``) is its quieter sibling — the
+object is built once at import time and aliased by every call, so identity
+checks, later mutation, or pickling behave differently than the signature
+suggests.  Use ``None`` and construct inside the body.  Calls producing
+immutable values (``tuple()``, ``frozenset()``) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding, LintSeverity
+
+#: Constructor names whose results are immutable and safe to share.
+_IMMUTABLE_CONSTRUCTORS = frozenset({"tuple", "frozenset"})
+
+
+def _shared_default(node: ast.AST) -> Optional[str]:
+    """Describe a default that is built once and shared, else None."""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _IMMUTABLE_CONSTRUCTORS
+        ):
+            return None
+        name = (
+            node.func.id
+            if isinstance(node.func, ast.Name)
+            else node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else "call"
+        )
+        return f"{name}(...) instance"
+    return None
+
+
+@register
+class SharedDefaultRule(Rule):
+    code = "QOS105"
+    name = "shared-default"
+    rationale = (
+        "mutable or constructed defaults are evaluated once at import and "
+        "aliased by every call; default to None and build inside the body"
+    )
+    severity = LintSeverity.WARNING
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        args = node.args  # type: ignore[attr-defined]
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            description = _shared_default(default)
+            if description is not None:
+                yield self.finding(
+                    default,
+                    ctx,
+                    f"default {description} is created once at definition "
+                    "time and shared across calls; use None and construct "
+                    "inside the function",
+                )

@@ -1,0 +1,63 @@
+"""QOS109 — ambient process environment reads in library code.
+
+``os.environ`` / ``os.getcwd()`` in library code make results depend on
+*how the process was launched*: two archival runs of the same seed diverge
+because one shell exported a knob the other did not, and a worker process
+may not inherit what the parent saw.  Configuration must be threaded
+through parameters; the few documented environment knobs (the benchmark
+overrides in ``repro.experiments.config``) carry explicit suppressions
+stating exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding, LintSeverity
+
+#: Attribute chains whose mere mention means ambient-environment access.
+_AMBIENT_ATTRIBUTES = frozenset({"os.environ"})
+
+#: Calls reading the ambient environment or working directory.
+_AMBIENT_CALLS = frozenset(
+    {"os.getenv", "os.getcwd", "os.getcwdb", "pathlib.Path.cwd"}
+)
+
+
+@register
+class AmbientEnvironmentRule(Rule):
+    code = "QOS109"
+    name = "ambient-environment"
+    rationale = (
+        "environment/cwd reads make library results depend on how the "
+        "process was launched; thread configuration through parameters "
+        "(documented knobs carry suppressions)"
+    )
+    severity = LintSeverity.WARNING
+    node_types = (ast.Attribute, ast.Call)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_library:
+            return
+        if isinstance(node, ast.Call):
+            qualified = ctx.qualified_name(node.func)
+            if qualified in _AMBIENT_CALLS:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"{qualified}() read in library code; pass the value "
+                    "in as a parameter instead of reading the ambient "
+                    "process environment",
+                )
+            return
+        qualified = ctx.qualified_name(node)
+        if qualified in _AMBIENT_ATTRIBUTES:
+            yield self.finding(
+                node,
+                ctx,
+                f"{qualified} access in library code; thread configuration "
+                "through explicit parameters (suppress with rationale for "
+                "documented knobs)",
+            )

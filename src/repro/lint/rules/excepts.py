@@ -1,0 +1,73 @@
+"""QOS106 — exception handlers that swallow failures silently.
+
+A bare ``except:`` catches ``SystemExit``/``KeyboardInterrupt`` and hides
+engine bugs as mysteriously-wrong results; a broad handler whose body is
+only ``pass`` turns an invariant violation into silent state divergence —
+the worst possible failure mode for a simulator whose outputs are asserted
+bit-identical.  Catch the narrowest type that the handler can actually
+handle, and do something observable with it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding, LintSeverity
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _BROAD
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(element) for element in annotation.elts)
+    return False
+
+
+def _body_is_silent(body: list) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in body
+    )
+
+
+@register
+class SilentExceptRule(Rule):
+    code = "QOS106"
+    name = "silent-except"
+    rationale = (
+        "bare or pass-only broad handlers turn engine invariant violations "
+        "into silent state divergence; catch narrowly and act observably"
+    )
+    severity = LintSeverity.ERROR
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield self.finding(
+                node,
+                ctx,
+                "bare except catches SystemExit/KeyboardInterrupt and hides "
+                "bugs; name the exception types this handler can handle",
+            )
+            return
+        if (
+            ctx.in_library
+            and _is_broad(node.type)
+            and _body_is_silent(node.body)
+        ):
+            yield self.finding(
+                node,
+                ctx,
+                "broad except with a pass-only body swallows failures "
+                "silently; narrow the type or handle the error observably",
+            )

@@ -1,0 +1,64 @@
+"""QOS104 — float equality comparisons in library code.
+
+``x == 0.3`` on accumulated floats is a latent heisenbug: it may hold on
+one summation order and fail on another (exactly what changing worker
+counts or numpy versions perturbs).  Library code must compare floats with
+an explicit tolerance (``math.isclose``, ``abs(a - b) < eps``) or justify
+an exact-representation comparison with a suppression.  Tests are exempt:
+asserting *bit-exact* equality across replays is the determinism suite's
+entire job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding, LintSeverity
+
+
+def _is_float_expr(node: ast.AST) -> bool:
+    """Syntactically float-valued: a float literal, ``-literal``, or
+    ``float(...)`` call."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "QOS104"
+    name = "float-equality"
+    rationale = (
+        "exact float equality depends on summation order; library code "
+        "compares with an explicit tolerance (tests asserting bit-exact "
+        "replays are exempt)"
+    )
+    severity = LintSeverity.WARNING
+    node_types = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        if not ctx.in_library:
+            return
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_float_expr(left) or _is_float_expr(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    left,
+                    ctx,
+                    f"float {symbol} comparison; use math.isclose or an "
+                    "explicit tolerance (suppress with rationale when the "
+                    "value is exactly representable by construction)",
+                )

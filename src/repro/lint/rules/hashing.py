@@ -1,0 +1,42 @@
+"""QOS110 — salted builtin ``hash()`` in sim layers.
+
+``hash(str)`` is randomised per interpreter process (PYTHONHASHSEED), so
+any sim-layer value derived from it — bucket choices, tie-breaks, derived
+seeds — differs between two runs of the *same* experiment.  Use
+:mod:`hashlib` digests or the stable keyed helpers in
+:mod:`repro.sim.rng` (``substream``/``stable_uniform``), which exist for
+exactly this purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding, LintSeverity
+
+
+@register
+class SaltedHashRule(Rule):
+    code = "QOS110"
+    name = "salted-hash"
+    rationale = (
+        "builtin hash() is salted per process (PYTHONHASHSEED); sim-layer "
+        "values derived from it differ across runs — use hashlib or "
+        "repro.sim.rng.substream/stable_uniform"
+    )
+    severity = LintSeverity.ERROR
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not ctx.in_sim_layer:
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            yield self.finding(
+                node,
+                ctx,
+                "builtin hash() is salted per process; derive stable values "
+                "with hashlib or repro.sim.rng (substream/stable_uniform)",
+            )

@@ -1,0 +1,97 @@
+"""QOS103 — set/dict-order dependence in sim layers.
+
+CPython set iteration order depends on insertion history and hash values;
+dict-key order encodes insertion order.  Neither is part of any sim-layer
+API contract, so code that *iterates* an unordered collection into results
+(event scheduling, node selection, metric aggregation) must wrap it in
+``sorted(...)``, and sim-layer APIs must not *return* bare sets for callers
+to iterate.  The second check is what caught ``Cluster.running_jobs``
+returning ``Set[int]`` straight into the EASY backfill release scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding, LintSeverity
+
+#: Annotation heads that denote an unordered set type.
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+
+def _annotation_head(annotation: ast.AST) -> Optional[str]:
+    """Base name of an annotation: ``Set[int]`` → ``Set``; ``set`` → ``set``."""
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):  # typing.Set[...]
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _unordered_iterable(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if iterating it is order-unstable, else None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return ".keys()"
+    return None
+
+
+@register
+class UnorderedIterationRule(Rule):
+    code = "QOS103"
+    name = "unordered-iteration"
+    rationale = (
+        "set and dict-key iteration order is an accident of insertion "
+        "history; sim-layer results must come from sorted(...) sequences"
+    )
+    severity = LintSeverity.ERROR
+    node_types = (
+        ast.For,
+        ast.comprehension,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+    )
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_sim_layer:
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            head = (
+                _annotation_head(node.returns)
+                if node.returns is not None
+                else None
+            )
+            if head in _SET_ANNOTATIONS:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"sim-layer function {node.name}() returns an unordered "
+                    "set; return a sorted sequence so callers cannot depend "
+                    "on set iteration order",
+                )
+            return
+        iterable = node.iter
+        description = _unordered_iterable(iterable)
+        if description is not None:
+            anchor = iterable if hasattr(iterable, "lineno") else node
+            yield self.finding(
+                anchor,
+                ctx,
+                f"iteration over {description} in a sim layer; wrap it in "
+                "sorted(...) (or iterate the dict itself for insertion "
+                "order, stating why that order is deterministic)",
+            )

@@ -1,0 +1,58 @@
+"""QOS108 — unpicklable callables handed to the parallel executor.
+
+``repro.experiments.parallel`` fans work out over ``ProcessPoolExecutor``;
+everything crossing the process boundary is pickled.  Lambdas (and locally
+nested functions) are not picklable, so passing one to ``PointSpec`` /
+``run_specs`` / ``run_points`` works in-process today and explodes the
+first time someone adds ``--jobs 2``.  The rule flags lambdas anywhere in
+the argument list of those APIs — including inside list/dict arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding, LintSeverity
+
+#: Callable names (bare or attribute) of the multiprocessing fan-out APIs.
+PARALLEL_APIS = frozenset({"PointSpec", "run_points", "run_specs"})
+
+
+def _callee_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@register
+class UnpicklableCallableRule(Rule):
+    code = "QOS108"
+    name = "unpicklable-callable"
+    rationale = (
+        "arguments to the parallel-executor APIs cross a process boundary "
+        "and must pickle; lambdas work sequentially and fail under --jobs N"
+    )
+    severity = LintSeverity.ERROR
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if _callee_name(node.func) not in PARALLEL_APIS:
+            return
+        arguments = [a for a in node.args] + [
+            keyword.value for keyword in node.keywords
+        ]
+        for argument in arguments:
+            for sub in ast.walk(argument):
+                if isinstance(sub, ast.Lambda):
+                    yield self.finding(
+                        sub,
+                        ctx,
+                        f"lambda passed to {_callee_name(node.func)}(); it "
+                        "cannot be pickled across the worker-process "
+                        "boundary — use a module-level function",
+                    )

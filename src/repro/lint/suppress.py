@@ -1,0 +1,116 @@
+"""Inline suppression comments: ``# qoslint: disable=QOS102 -- reason``.
+
+A suppression silences named rule codes *on its own physical line only* —
+there is no block or file scope, so every silenced finding stays visible in
+the diff right next to the code it excuses.  The ``-- reason`` tail is how
+a suppression carries its rationale; repository convention (enforced by
+review, not by this module) is that library suppressions always give one.
+
+Suppressions are parsed from real COMMENT tokens via :mod:`tokenize`, so a
+``# qoslint:`` inside a string literal is never misread as one.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+_DISABLE_RE = re.compile(
+    r"#\s*qoslint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<reason>.+?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment.
+
+    Attributes:
+        line: 1-based physical line the comment sits on.
+        codes: Rule codes it names, in written order.
+        reason: Text after ``--``, or None when no rationale was given.
+    """
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: Optional[str]
+
+
+class SuppressionIndex:
+    """All suppressions in one source file, queryable by line."""
+
+    def __init__(self, suppressions: Iterable[Suppression]) -> None:
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for suppression in suppressions:
+            self._by_line.setdefault(suppression.line, []).append(suppression)
+
+    @classmethod
+    def scan(cls, source: str) -> "SuppressionIndex":
+        """Parse every suppression comment out of ``source``.
+
+        Assumes ``source`` already parsed as Python (the engine checks
+        syntax first); tokenization errors therefore mean an internal bug
+        and are allowed to propagate.
+        """
+        suppressions: List[Suppression] = []
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_RE.search(token.string)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            )
+            if not codes:
+                continue
+            suppressions.append(
+                Suppression(
+                    line=token.start[0],
+                    codes=codes,
+                    reason=match.group("reason"),
+                )
+            )
+        return cls(suppressions)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_line.values())
+
+    @property
+    def suppressions(self) -> List[Suppression]:
+        """All suppressions in line order."""
+        return [
+            suppression
+            for line in sorted(self._by_line)
+            for suppression in self._by_line[line]
+        ]
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is silenced on physical ``line``."""
+        return any(
+            code in suppression.codes
+            for suppression in self._by_line.get(line, [])
+        )
+
+    def unknown_codes(
+        self, known: FrozenSet[str]
+    ) -> List[Tuple[int, str]]:
+        """``(line, code)`` pairs naming codes no registered rule owns.
+
+        These become QOS001 findings: a suppression for a misspelled code
+        silences nothing while *looking* like it silences something, which
+        is worse than no suppression at all.
+        """
+        pairs: List[Tuple[int, str]] = []
+        for line in sorted(self._by_line):
+            for suppression in self._by_line[line]:
+                for code in suppression.codes:
+                    if code not in known:
+                        pairs.append((line, code))
+        return pairs

@@ -93,11 +93,11 @@ class OnlinePredictor(Predictor):
         self,
         raw_log: Sequence[RawEvent],
         health: Optional[HealthModel] = None,
-        config: OnlinePredictorConfig = OnlinePredictorConfig(),
+        config: Optional[OnlinePredictorConfig] = None,
     ) -> None:
         self._index = EventWindowIndex(raw_log)
         self._health = health
-        self._config = config
+        self._config = config if config is not None else OnlinePredictorConfig()
 
     def bind_registry(self, registry) -> None:
         super().bind_registry(registry)

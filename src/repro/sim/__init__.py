@@ -2,7 +2,13 @@
 
 from repro.sim.engine import EventLoop, SimulationError
 from repro.sim.events import Event, EventKind, TIE_BREAK_ORDER
-from repro.sim.rng import DEFAULT_SEED, make_rng, stable_uniform, substream
+from repro.sim.rng import (
+    DEFAULT_SEED,
+    make_rng,
+    stable_hash,
+    stable_uniform,
+    substream,
+)
 
 __all__ = [
     "EventLoop",
@@ -12,6 +18,7 @@ __all__ = [
     "TIE_BREAK_ORDER",
     "DEFAULT_SEED",
     "make_rng",
+    "stable_hash",
     "stable_uniform",
     "substream",
 ]

@@ -57,6 +57,19 @@ def substream(seed: SeedLike, tag: str) -> np.random.Generator:
     return np.random.default_rng(child_seed)
 
 
+def stable_hash(key: str) -> int:
+    """Deterministic 64-bit hash of a string, stable across processes.
+
+    The builtin ``hash`` is salted per interpreter process
+    (``PYTHONHASHSEED``), so values derived from it — message-template
+    buckets, tie-breaks — silently differ between two runs of the same
+    experiment.  This digest-based replacement is what sim-layer code must
+    use instead (enforced by lint rule QOS110).
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 def stable_uniform(key: str, seed: Optional[int] = None) -> float:
     """Deterministic uniform draw in [0, 1) keyed by a string.
 

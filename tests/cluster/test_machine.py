@@ -25,13 +25,25 @@ class TestConstruction:
 class TestJobPlacement:
     def test_start_and_remove(self, small_cluster):
         small_cluster.start_job(1, [0, 1, 2])
-        assert small_cluster.running_jobs() == {1}
+        assert small_cluster.running_jobs() == [1]
         assert small_cluster.nodes_of(1) == [0, 1, 2]
         assert small_cluster.job_on(1) == 1
         assert small_cluster.busy_node_count() == 3
         freed = small_cluster.remove_job(1)
         assert freed == [0, 1, 2]
         assert small_cluster.busy_node_count() == 0
+
+    def test_running_jobs_sorted_regardless_of_history(self, small_cluster):
+        # The scan order of running jobs feeds EASY backfill's release-time
+        # sweep; it must be the sorted job ids, not insertion or removal
+        # order (regression: used to be a raw set).
+        small_cluster.start_job(7, [0])
+        small_cluster.start_job(2, [1])
+        small_cluster.start_job(5, [2])
+        assert small_cluster.running_jobs() == [2, 5, 7]
+        small_cluster.remove_job(2)
+        small_cluster.start_job(1, [3])
+        assert small_cluster.running_jobs() == [1, 5, 7]
 
     def test_start_requires_all_nodes_available(self, small_cluster):
         small_cluster.start_job(1, [0])

@@ -112,8 +112,8 @@ class TestQueries:
     def test_busy_jobs_at(self, ledger):
         ledger.reserve(1, [0], 10.0, 20.0)
         ledger.reserve(2, [1], 15.0, 30.0)
-        assert ledger.busy_jobs_at(16.0) == {1, 2}
-        assert ledger.busy_jobs_at(25.0) == {2}
+        assert ledger.busy_jobs_at(16.0) == [1, 2]
+        assert ledger.busy_jobs_at(25.0) == [2]
 
     def test_candidate_times_contains_earliest_and_ends(self, ledger):
         ledger.reserve(1, [0], 10.0, 20.0)

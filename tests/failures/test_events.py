@@ -70,6 +70,21 @@ class TestWindowQueries:
         with pytest.raises(ValueError):
             tiny_failures.in_window([0], 10.0, 5.0)
 
+    def test_in_window_deduplicates_repeated_nodes(self, tiny_failures):
+        # A caller passing the same node twice must not see its failures
+        # twice (regression: the scan used to append once per occurrence).
+        once = tiny_failures.in_window([0, 3], 0.0, 1e9)
+        twice = tiny_failures.in_window([0, 0, 3, 3, 0], 0.0, 1e9)
+        assert twice == once
+
+    def test_in_window_independent_of_node_container(self, tiny_failures):
+        # Result must not depend on the caller's container type or its
+        # iteration order (sets hash-order differently across processes).
+        from_list = tiny_failures.in_window([4, 0, 3], 0.0, 1e9)
+        from_set = tiny_failures.in_window({0, 3, 4}, 0.0, 1e9)
+        from_gen = tiny_failures.in_window((n for n in (3, 4, 0)), 0.0, 1e9)
+        assert from_list == from_set == from_gen
+
     def test_after(self, tiny_failures):
         assert [e.event_id for e in tiny_failures.after(5 * 3600.0)] == [2, 3]
 

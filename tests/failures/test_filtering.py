@@ -17,6 +17,18 @@ def raw(time, node, severity=Severity.FATAL, message_id=0):
     return RawEvent(time=time, node=node, severity=severity, message_id=message_id)
 
 
+class TestDefaultSpec:
+    def test_omitted_spec_equals_fresh_default(self):
+        # Regression: the default used to be a shared FilterSpec instance
+        # in the signature; omitting it must behave like a fresh default.
+        records = [raw(10.0, 0), raw(9000.0, 1, Severity.FAILURE)]
+        implicit = filter_raw_log(records)
+        explicit = filter_raw_log(records, FilterSpec())
+        assert [(e.time, e.node) for e in implicit] == [
+            (e.time, e.node) for e in explicit
+        ]
+
+
 class TestSeverityFiltering:
     def test_low_severity_dropped(self):
         records = [

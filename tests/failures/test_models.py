@@ -14,6 +14,15 @@ from repro.failures.models import (
 YEAR = 365 * 86400.0
 
 
+class TestDefaultSpec:
+    def test_omitted_spec_equals_fresh_default(self):
+        # Regression: the default used to be a shared RenewalSpec instance
+        # in the signature; omitting it must behave like a fresh default.
+        implicit = generate_renewal_trace(30 * 86400.0, seed=5)
+        explicit = generate_renewal_trace(30 * 86400.0, RenewalSpec(), seed=5)
+        assert [e.time for e in implicit] == [e.time for e in explicit]
+
+
 class TestRenewalGeneration:
     def test_rate_matches_spec(self):
         trace = generate_renewal_trace(YEAR, RenewalSpec(rate_per_day=2.8), seed=1)

@@ -1,0 +1,91 @@
+"""Suppression comments: parsing, line scoping, reasons, unknown codes."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import SuppressionIndex, lint_source
+from repro.lint.engine import UNKNOWN_SUPPRESSION_CODE
+
+SIM = "src/repro/sim/fake.py"
+
+
+class TestParsing:
+    def test_single_code_with_reason(self):
+        index = SuppressionIndex.scan(
+            "x = hash(n)  # qoslint: disable=QOS110 -- exact-repr by construction\n"
+        )
+        (supp,) = index.suppressions
+        assert supp.line == 1
+        assert supp.codes == ("QOS110",)
+        assert supp.reason == "exact-repr by construction"
+
+    def test_multiple_codes(self):
+        index = SuppressionIndex.scan(
+            "x = 1  # qoslint: disable=QOS104, QOS110\n"
+        )
+        (supp,) = index.suppressions
+        assert supp.codes == ("QOS104", "QOS110")
+        assert supp.reason is None
+
+    def test_comment_inside_string_ignored(self):
+        index = SuppressionIndex.scan(
+            's = "# qoslint: disable=QOS101"\n'
+        )
+        assert len(index) == 0
+
+    def test_unrelated_comment_ignored(self):
+        index = SuppressionIndex.scan("x = 1  # regular comment\n")
+        assert len(index) == 0
+
+    def test_own_line_comment(self):
+        index = SuppressionIndex.scan(
+            "# qoslint: disable=QOS102 -- block rationale\nx = 1\n"
+        )
+        (supp,) = index.suppressions
+        assert supp.line == 1
+
+
+class TestScoping:
+    def test_suppression_silences_same_line_only(self):
+        source = textwrap.dedent(
+            """
+            a = hash(x)  # qoslint: disable=QOS110 -- first site is justified
+            b = hash(y)
+            """
+        )
+        findings = lint_source(source, SIM)
+        assert [(f.code, f.line) for f in findings] == [("QOS110", 3)]
+
+    def test_suppression_is_code_specific(self):
+        # Suppressing QOS104 does not silence a QOS110 on the same line.
+        source = "ok = hash(x) == 0.5  # qoslint: disable=QOS104 -- tolerated\n"
+        findings = lint_source(source, SIM)
+        assert [f.code for f in findings] == ["QOS110"]
+
+    def test_multi_code_suppression(self):
+        source = (
+            "ok = hash(x) == 0.5"
+            "  # qoslint: disable=QOS104,QOS110 -- both justified\n"
+        )
+        assert lint_source(source, SIM) == []
+
+
+class TestUnknownCodes:
+    def test_unknown_code_reported_as_qos001(self):
+        source = "x = 1  # qoslint: disable=QOS999 -- typo\n"
+        findings = lint_source(source, SIM)
+        assert [f.code for f in findings] == [UNKNOWN_SUPPRESSION_CODE]
+        assert "QOS999" in findings[0].message
+
+    def test_known_and_unknown_mixed(self):
+        source = "x = hash(n)  # qoslint: disable=QOS110,QOS999 -- half typo\n"
+        findings = lint_source(source, SIM)
+        # The QOS110 half works; the QOS999 half is flagged.
+        assert [f.code for f in findings] == [UNKNOWN_SUPPRESSION_CODE]
+
+    def test_infrastructure_codes_are_known(self):
+        from repro.lint import known_codes
+
+        assert "QOS000" in known_codes()
+        assert "QOS001" in known_codes()

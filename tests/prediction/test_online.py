@@ -75,6 +75,21 @@ class TestPredictorInterface:
         assert double > single
 
 
+class TestConfigDefault:
+    def test_default_config_instances_are_independent(self):
+        # Regression: the config default used to be a shared dataclass
+        # instance in the signature; two predictors must not alias it.
+        a = OnlinePredictor([], health=None)
+        b = OnlinePredictor([], health=None)
+        assert a.config is not b.config
+        assert a.config == OnlinePredictorConfig()
+
+    def test_explicit_config_is_kept(self):
+        cfg = OnlinePredictorConfig(alarm_threshold=0.25)
+        predictor = OnlinePredictor([], health=None, config=cfg)
+        assert predictor.config is cfg
+
+
 class TestEndToEndQuality:
     def test_sahoo_regime_on_synthetic_telemetry(self):
         duration = 90 * 86400.0
