@@ -1,12 +1,17 @@
 """ASCII schedule visualisation from a simulation trace.
 
 Renders a node-by-time occupancy chart — the classic scheduling Gantt — from
-the records of a :class:`~repro.analysis.tracelog.TraceRecorder`:
+the span timeline of :mod:`repro.obs.trace`, assembled on the fly from the
+records of a :class:`~repro.analysis.tracelog.TraceRecorder`:
 
 * digits/letters mark which job occupies a node (job ids are mapped to a
   compact symbol alphabet, reused cyclically);
 * ``#`` marks a node inside its repair window;
 * ``.`` marks idle.
+
+Runs still open at the horizon (a job mid-execution when the trace stopped)
+are drawn up to the horizon rather than dropped, which is what the span
+layer's ``open`` flag exists for.
 
 Intended for small demonstration clusters (examples, debugging, teaching);
 for a 128-node production sweep the JSONL trace export is the right tool.
@@ -15,9 +20,12 @@ for a 128-node production sweep the JSONL trace export is the right tool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.analysis.tracelog import TraceRecorder
+
+if TYPE_CHECKING:  # import cycle: repro.obs.trace imports this package
+    from repro.obs.trace import SpanBuilder, SpanTimeline
 
 _SYMBOLS = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
 _DOWN, _IDLE = "#", "."
@@ -33,41 +41,64 @@ class Occupancy:
     end: float
 
 
-def occupancy_intervals(recorder: TraceRecorder) -> List[Occupancy]:
-    """Reconstruct per-node occupancy from start/finish/kill records."""
-    open_runs: Dict[Tuple[int, int], float] = {}  # (job, node) -> start
+def _span_builder_of(recorder: TraceRecorder) -> "SpanBuilder":
+    """The recorder as a span builder, replaying its records if needed.
+
+    Imported lazily: :mod:`repro.obs.trace` imports this package's
+    ``tracelog`` module, so a top-level import here would be circular.
+    """
+    from repro.obs.trace import SpanBuilder
+
+    if isinstance(recorder, SpanBuilder):
+        return recorder
+    builder = SpanBuilder.from_records(recorder, keep_in_memory=False)
+    assert isinstance(builder, SpanBuilder)
+    return builder
+
+
+def _span_timeline(
+    recorder: TraceRecorder, end_time: Optional[float]
+) -> "SpanTimeline":
+    """Assemble the recorder's records into spans."""
+    return _span_builder_of(recorder).build(end_time=end_time)
+
+
+def occupancy_intervals(
+    recorder: TraceRecorder, end_time: Optional[float] = None
+) -> List[Occupancy]:
+    """Per-node occupancy, derived from the span layer's ``running`` spans.
+
+    A running span closes on finish, kill, or evacuation; each covers the
+    job's whole partition, so it expands to one interval per node.  Spans
+    still open at the end of the trace are closed at ``end_time`` when
+    given, dropped otherwise (matching the trace's own knowledge).
+    """
     intervals: List[Occupancy] = []
-    for record in recorder:
-        if record.kind == "start":
-            for node in record.detail.get("nodes", []):
-                open_runs[(record.job_id, node)] = record.time
-        elif record.kind in ("finish", "killed", "evacuated"):
-            for (job_id, node), started in list(open_runs.items()):
-                if job_id == record.job_id:
-                    intervals.append(
-                        Occupancy(
-                            node=node,
-                            job_id=job_id,
-                            start=started,
-                            end=record.time,
-                        )
-                    )
-                    del open_runs[(job_id, node)]
+    for span in _span_timeline(recorder, end_time).spans:
+        if span.track != "job" or span.name != "running" or span.end is None:
+            continue
+        for node in span.attrs.get("nodes", []):
+            intervals.append(
+                Occupancy(
+                    node=node,
+                    job_id=span.track_id,
+                    start=span.start,
+                    end=span.end,
+                )
+            )
     intervals.sort(key=lambda o: (o.node, o.start))
     return intervals
 
 
-def downtime_intervals(recorder: TraceRecorder) -> List[Tuple[int, float, float]]:
-    """Reconstruct per-node repair windows from node_down/node_up records."""
-    down_since: Dict[int, float] = {}
+def downtime_intervals(
+    recorder: TraceRecorder, end_time: Optional[float] = None
+) -> List[Tuple[int, float, float]]:
+    """Per-node repair windows, derived from the span layer's ``down`` spans."""
     intervals: List[Tuple[int, float, float]] = []
-    for record in recorder:
-        if record.kind == "node_down" and record.node is not None:
-            down_since.setdefault(record.node, record.time)
-        elif record.kind == "node_up" and record.node is not None:
-            started = down_since.pop(record.node, None)
-            if started is not None:
-                intervals.append((record.node, started, record.time))
+    for span in _span_timeline(recorder, end_time).spans:
+        if span.track == "node" and span.name == "down" and span.end is not None:
+            intervals.append((span.track_id, span.start, span.end))
+    intervals.sort()
     return intervals
 
 
@@ -88,10 +119,11 @@ def render_gantt(
     Returns:
         The chart plus a legend mapping symbols to job ids.
     """
-    records = recorder.records
-    if not records:
+    builder = _span_builder_of(recorder)
+    last = builder.last_time
+    if len(recorder) == 0 and last <= 0:
         return "(empty trace)"
-    horizon = end_time if end_time is not None else max(r.time for r in records)
+    horizon = end_time if end_time is not None else last
     if horizon <= 0:
         return "(trace has no duration)"
     bucket = horizon / width
@@ -102,15 +134,15 @@ def render_gantt(
         if node >= node_count:
             return
         first = min(width - 1, max(0, int(start / bucket)))
-        last = min(width - 1, max(0, int(max(end - 1e-9, start) / bucket)))
-        for column in range(first, last + 1):
+        last_col = min(width - 1, max(0, int(max(end - 1e-9, start) / bucket)))
+        for column in range(first, last_col + 1):
             grid[node][column] = symbol
 
-    for node, start, end in downtime_intervals(recorder):
+    for node, start, end in downtime_intervals(recorder, end_time=horizon):
         paint(node, start, end, _DOWN)
 
     legend: Dict[int, str] = {}
-    for interval in occupancy_intervals(recorder):
+    for interval in occupancy_intervals(recorder, end_time=horizon):
         symbol = legend.setdefault(
             interval.job_id, _SYMBOLS[len(legend) % len(_SYMBOLS)]
         )

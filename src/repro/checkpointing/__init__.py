@@ -1,6 +1,7 @@
 """Checkpointing: cooperative (risk-based) policy, baselines, run state."""
 
 from repro.checkpointing.policies import (
+    CheckpointDecision,
     CheckpointDecisionContext,
     CheckpointPolicy,
     CooperativePolicy,
@@ -12,6 +13,7 @@ from repro.checkpointing.policies import (
 from repro.checkpointing.runtime import JobRun, padded_remaining
 
 __all__ = [
+    "CheckpointDecision",
     "CheckpointDecisionContext",
     "CheckpointPolicy",
     "CooperativePolicy",

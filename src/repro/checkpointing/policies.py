@@ -85,14 +85,42 @@ class CheckpointDecisionContext:
         return projected <= self.deadline
 
 
+@dataclass(frozen=True)
+class CheckpointDecision:
+    """A perform/skip decision plus the rationale that produced it.
+
+    The rationale is what the span layer (:mod:`repro.obs.trace`) attaches
+    to each checkpoint span/mark so audit trails can explain *why* work
+    was or was not made durable — the attribution Xu et al. motivate for
+    opportunistic checkpointing analyses.
+
+    Attributes:
+        perform: True to perform the requested checkpoint.
+        reason: Short machine-stable tag, e.g. ``"risk-exceeds-overhead"``.
+        failure_probability: The ``p_f`` the decision consulted, when the
+            policy evaluated the predictor (None for oblivious policies).
+        at_risk: Execution seconds that were at risk (``d * I``), when the
+            policy weighed them.
+    """
+
+    perform: bool
+    reason: str
+    failure_probability: Optional[float] = None
+    at_risk: Optional[float] = None
+
+
 class CheckpointPolicy(abc.ABC):
     """Decides, per request, whether a checkpoint is performed."""
 
     name: str = "abstract"
 
     @abc.abstractmethod
+    def decide(self, ctx: CheckpointDecisionContext) -> CheckpointDecision:
+        """Full decision with rationale; the simulator's entry point."""
+
     def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
         """True to perform the requested checkpoint, False to skip it."""
+        return self.decide(ctx).perform
 
 
 class PeriodicPolicy(CheckpointPolicy):
@@ -100,8 +128,8 @@ class PeriodicPolicy(CheckpointPolicy):
 
     name = "periodic"
 
-    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
-        return True
+    def decide(self, ctx: CheckpointDecisionContext) -> CheckpointDecision:
+        return CheckpointDecision(perform=True, reason="periodic-always")
 
 
 class NeverPolicy(CheckpointPolicy):
@@ -109,8 +137,8 @@ class NeverPolicy(CheckpointPolicy):
 
     name = "never"
 
-    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
-        return False
+    def decide(self, ctx: CheckpointDecisionContext) -> CheckpointDecision:
+        return CheckpointDecision(perform=False, reason="never-policy")
 
 
 class CooperativePolicy(CheckpointPolicy):
@@ -126,18 +154,33 @@ class CooperativePolicy(CheckpointPolicy):
     def __init__(self, deadline_aware: bool = True) -> None:
         self.deadline_aware = deadline_aware
 
-    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
+    def decide(self, ctx: CheckpointDecisionContext) -> CheckpointDecision:
         p_f = ctx.failure_probability()
-        risk_says_perform = p_f * ctx.d * ctx.interval >= ctx.overhead
-        if not risk_says_perform:
-            return False
+        at_risk = ctx.d * ctx.interval
+        if p_f * at_risk < ctx.overhead:
+            return CheckpointDecision(
+                perform=False,
+                reason="risk-below-overhead",
+                failure_probability=p_f,
+                at_risk=at_risk,
+            )
         if self.deadline_aware:
             meets_if_perform = ctx.meets_deadline_if(perform=True)
             meets_if_skip = ctx.meets_deadline_if(perform=False)
             if meets_if_perform is False and meets_if_skip is True:
                 # Skipping might rescue the promise; take the risk.
-                return False
-        return True
+                return CheckpointDecision(
+                    perform=False,
+                    reason="deadline-rescue",
+                    failure_probability=p_f,
+                    at_risk=at_risk,
+                )
+        return CheckpointDecision(
+            perform=True,
+            reason="risk-exceeds-overhead",
+            failure_probability=p_f,
+            at_risk=at_risk,
+        )
 
 
 class RiskFreePolicy(CheckpointPolicy):
@@ -149,8 +192,15 @@ class RiskFreePolicy(CheckpointPolicy):
 
     name = "risk-free"
 
-    def should_checkpoint(self, ctx: CheckpointDecisionContext) -> bool:
-        return ctx.failure_probability() > 0.0
+    def decide(self, ctx: CheckpointDecisionContext) -> CheckpointDecision:
+        p_f = ctx.failure_probability()
+        if p_f > 0.0:
+            return CheckpointDecision(
+                perform=True, reason="failure-predicted", failure_probability=p_f
+            )
+        return CheckpointDecision(
+            perform=False, reason="no-failure-predicted", failure_probability=p_f
+        )
 
 
 def policy_by_name(name: str, deadline_aware: bool = True) -> CheckpointPolicy:

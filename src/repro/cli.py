@@ -14,6 +14,9 @@ Examples::
     probqos export bundles/sdsc-seed7 --workload sdsc --job-count 10000
     probqos run --workload nasa --obs obs.json --obs-interval 1800
     probqos obs summarize obs.json
+    probqos run --workload nasa --trace trace.jsonl
+    probqos trace export trace.jsonl --format chrome --out trace.json
+    probqos trace explain trace.jsonl --job 17
     probqos lint src tests
     probqos lint --format json --select QOS101,QOS102 src
 
@@ -55,12 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("number", type=int, help="figure number, 1-12")
     _add_env_args(fig)
     _add_obs_args(fig)
+    _add_trace_args(fig)
     _add_parallel_args(fig)
 
     tab = sub.add_parser("table", help="regenerate a paper table (1-2)")
     tab.add_argument("number", type=int, help="table number, 1 or 2")
     _add_env_args(tab)
     _add_obs_args(tab)
+    _add_trace_args(tab)
     _add_parallel_args(tab)
 
     run = sub.add_parser("run", help="simulate one (a, U) point")
@@ -71,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--topology", default="flat")
     _add_env_args(run)
     _add_obs_args(run)
+    _add_trace_args(run)
     run.add_argument(
         "--obs-interval",
         type=float,
@@ -86,6 +92,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "summarize", help="render an --obs report as text"
     )
     obs_summarize.add_argument("path", help="report written by --obs PATH")
+
+    trace = sub.add_parser(
+        "trace", help="assemble and inspect span timelines from --trace files"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="export a trace as Chrome Trace Event JSON "
+        "(loads in Perfetto / chrome://tracing)",
+    )
+    trace_export.add_argument("path", help="JSONL trace written by --trace PATH")
+    trace_export.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        dest="trace_format",
+        help="export format (default: chrome)",
+    )
+    trace_export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output file (default: <trace>.chrome.json)",
+    )
+    trace_explain = trace_sub.add_parser(
+        "explain",
+        help="reconstruct one job's guarantee audit trail from its spans",
+    )
+    trace_explain.add_argument("path", help="JSONL trace written by --trace PATH")
+    trace_explain.add_argument(
+        "--job", type=int, required=True, metavar="N", help="job id to explain"
+    )
 
     head = sub.add_parser("headline", help="no-prediction vs perfect endpoints")
     _add_env_args(head)
@@ -202,6 +240,16 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="stream every semantic transition to PATH as a JSONL flight "
+        "recorder; inspect with 'probqos trace export/explain'",
+    )
+
+
 def _write_obs_report(args: argparse.Namespace, registry, sampler=None) -> None:
     from repro.obs.export import write_report
 
@@ -250,22 +298,45 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         from repro.obs.registry import MetricsRegistry
 
         registry = MetricsRegistry()
+    jobs = args.jobs
     cache = _point_cache(args)
-    catalog = FigureCatalog()
-    workloads = (
-        ("sdsc", "nasa") if args.number == 8 else (_figure_workload(args.number),)
-    )
-    for name in workloads:
-        catalog._contexts[name] = ExperimentContext.prepare(
-            ExperimentSetup(
-                workload=name, job_count=args.job_count, seed=_setup(args).seed
-            ),
-            registry=registry,
-            jobs=args.jobs,
-            cache=cache,
+    trace_stream = recorder = None
+    if args.trace:
+        from repro.analysis.tracelog import TraceRecorder
+
+        # Recorders cannot cross process boundaries and cache hits skip
+        # the simulations that would produce records, so tracing forces
+        # the sequential uncached path for this invocation.
+        if jobs != 1 or cache is not None:
+            print("--trace forces --jobs 1 and ignores --cache-dir")
+            jobs, cache = 1, None
+        trace_stream = open(args.trace, "w")
+        recorder = TraceRecorder(stream=trace_stream, keep_in_memory=False)
+    try:
+        catalog = FigureCatalog()
+        workloads = (
+            ("sdsc", "nasa") if args.number == 8 else (_figure_workload(args.number),)
         )
-    print(format_figure(catalog.figure(args.number)))
+        for name in workloads:
+            catalog._contexts[name] = ExperimentContext.prepare(
+                ExperimentSetup(
+                    workload=name, job_count=args.job_count, seed=_setup(args).seed
+                ),
+                registry=registry,
+                jobs=jobs,
+                cache=cache,
+                recorder=recorder,
+            )
+        print(format_figure(catalog.figure(args.number)))
+    finally:
+        if trace_stream is not None:
+            trace_stream.close()
     _report_cache(cache)
+    if args.trace:
+        print(
+            f"\ntrace written to {args.trace} (all simulated points share "
+            "the file); inspect with 'probqos trace export/explain'"
+        )
     if registry is not None:
         _write_obs_report(args, registry)
     return 0
@@ -290,6 +361,12 @@ def _cmd_table(args: argparse.Namespace) -> int:
     else:
         print(f"the paper has tables 1 and 2; got {args.number}", file=sys.stderr)
         return 2
+    if args.trace:
+        # Tables run no traced simulations; an empty (but valid) JSONL file
+        # still lands so batch pipelines can pass one flag set everywhere.
+        with open(args.trace, "w"):
+            pass
+        print(f"trace written to {args.trace}: tables simulate nothing (0 records)")
     if args.obs:
         # Tables run no simulations; the report still round-trips so
         # batch pipelines can treat every subcommand uniformly.
@@ -302,21 +379,35 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     ctx = ExperimentContext.prepare(_setup(args))
     registry = sampler = None
-    if args.obs:
-        from repro.obs.registry import MetricsRegistry
+    spans = None
+    if args.obs or args.trace:
+        builder = trace_stream = None
+        if args.obs:
+            from repro.obs.registry import MetricsRegistry
 
-        registry = MetricsRegistry()
+            registry = MetricsRegistry()
+        if args.trace:
+            from repro.obs.trace import SpanBuilder
+
+            trace_stream = open(args.trace, "w")
+            builder = SpanBuilder(stream=trace_stream)
         interval = args.obs_interval if args.obs_interval is not None else 3600.0
-        result, sampler = ctx.run_instrumented(
-            args.accuracy,
-            args.user_threshold,
-            registry,
-            sample_interval=interval,
-            checkpoint_policy=args.policy,
-            placement=args.placement,
-            topology=args.topology,
-        )
+        try:
+            result, sampler = ctx.run_instrumented(
+                args.accuracy,
+                args.user_threshold,
+                registry,
+                sample_interval=interval if registry is not None else None,
+                recorder=builder,
+                checkpoint_policy=args.policy,
+                placement=args.placement,
+                topology=args.topology,
+            )
+        finally:
+            if trace_stream is not None:
+                trace_stream.close()
         metrics = result.metrics
+        spans = result.spans
     else:
         metrics = ctx.run_point(
             args.accuracy,
@@ -347,6 +438,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             pairs,
         )
     )
+    if spans is not None:
+        from repro.obs.trace import summarize_timeline
+
+        print()
+        print(summarize_timeline(spans))
+        print(
+            f"trace written to {args.trace}; inspect with "
+            f"'probqos trace export {args.trace}' or "
+            f"'probqos trace explain {args.trace} --job N'"
+        )
     if registry is not None:
         _write_obs_report(args, registry, sampler=sampler)
     return 0
@@ -464,6 +565,61 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.tracelog import load_jsonl
+    from repro.obs.trace import (
+        explain_job,
+        summarize_timeline,
+        timeline_from_records,
+        to_chrome_trace,
+        validate_chrome_trace,
+    )
+
+    try:
+        with open(args.path) as fh:
+            records = load_jsonl(fh)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    timeline = timeline_from_records(records, meta={"source": args.path})
+
+    if args.trace_command == "export":
+        doc = to_chrome_trace(timeline)
+        problems = validate_chrome_trace(doc)
+        if problems:
+            for problem in problems:
+                print(f"invalid chrome trace: {problem}", file=sys.stderr)
+            return 1
+        out = args.out if args.out is not None else args.path + ".chrome.json"
+        with open(out, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"chrome trace written to {out}: {len(doc['traceEvents'])} events"
+            " — open in Perfetto (ui.perfetto.dev) or chrome://tracing"
+        )
+        print(summarize_timeline(timeline))
+        return 0
+
+    if args.trace_command == "explain":
+        try:
+            print(explain_job(timeline, args.job))
+        except KeyError:
+            job_ids = timeline.job_ids()
+            preview = ", ".join(str(j) for j in job_ids[:20])
+            print(
+                f"no trace of job {args.job} in {args.path}; "
+                f"jobs present: {preview}"
+                + (" ..." if len(job_ids) > 20 else ""),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    return 2
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
@@ -506,6 +662,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gantt": _cmd_gantt,
         "report": _cmd_report,
         "obs": _cmd_obs,
+        "trace": _cmd_trace,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -19,11 +19,12 @@ seed, configuration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tracelog import NullRecorder, TraceRecorder
 from repro.checkpointing.policies import (
+    CheckpointDecision,
     CheckpointDecisionContext,
     CheckpointPolicy,
     policy_by_name,
@@ -37,6 +38,7 @@ from repro.core.users import RiskThresholdUser, UserModel
 from repro.failures.events import FailureTrace
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sampler import Sampler
+from repro.obs.trace import SpanBuilder, SpanTimeline
 from repro.prediction.base import Predictor
 from repro.prediction.trace import TracePredictor
 from repro.scheduling.fcfs import ConservativeBackfillScheduler
@@ -122,6 +124,9 @@ class _JobState:
     saved_progress: float = 0.0
     run: Optional[JobRun] = None
     done: bool = False
+    #: The decision behind an in-flight checkpoint, so the performed record
+    #: can carry the policy's rationale alongside the timing.
+    pending_decision: Optional[CheckpointDecision] = None
     #: Cancellable handles for this job's in-flight events.
     start_event: Optional[Event] = None
     run_event: Optional[Event] = None
@@ -138,6 +143,9 @@ class SimulationResult:
     Attributes:
         obs: Final observability snapshot (``registry.snapshot()``) when the
             system ran with a live registry; None otherwise.
+        spans: Assembled :class:`~repro.obs.trace.SpanTimeline` when the
+            system ran with a live :class:`~repro.obs.trace.SpanBuilder`;
+            None otherwise.
     """
 
     metrics: SimulationMetrics
@@ -145,6 +153,7 @@ class SimulationResult:
     outcomes: list
     events_processed: int
     obs: Optional[dict] = None
+    spans: Optional[SpanTimeline] = None
 
 
 class ProbabilisticQoSSystem:
@@ -163,7 +172,11 @@ class ProbabilisticQoSSystem:
             :class:`RiskThresholdUser` at ``config.user_threshold``.
         recorder: Optional trace recorder capturing every semantic
             transition (see :mod:`repro.analysis.tracelog`); defaults to a
-            zero-cost null recorder.
+            zero-cost null recorder.  Pass a
+            :class:`~repro.obs.trace.SpanBuilder` to get the assembled
+            span timeline on :attr:`SimulationResult.spans` as well.
+        spans: Convenience alias: a :class:`~repro.obs.trace.SpanBuilder`
+            to use as the recorder (mutually exclusive with ``recorder``).
         registry: Optional :class:`~repro.obs.registry.MetricsRegistry`;
             defaults to the shared null registry, which costs one boolean
             test per instrumented decision point.  A live registry threads
@@ -186,7 +199,12 @@ class ProbabilisticQoSSystem:
         recorder: Optional[TraceRecorder] = None,
         registry: Optional[MetricsRegistry] = None,
         sample_interval: Optional[float] = None,
+        spans: Optional[SpanBuilder] = None,
     ) -> None:
+        if spans is not None:
+            if recorder is not None:
+                raise ValueError("pass either recorder= or spans=, not both")
+            recorder = spans
         self.config = config
         self.workload = workload
         self.failures = failures
@@ -221,8 +239,15 @@ class ProbabilisticQoSSystem:
         self.policy: CheckpointPolicy = policy_by_name(config.checkpoint_policy)
         self.metrics = MetricsCollector()
         self.recorder: TraceRecorder = recorder if recorder is not None else NullRecorder()
+        self._span_builder: Optional[SpanBuilder] = (
+            recorder if isinstance(recorder, SpanBuilder) else None
+        )
 
         self.loop = EventLoop(registry=self.registry)
+        if self._span_builder is not None:
+            # Exported timelines carry the event-mix breakdown in their
+            # metadata; counting costs one bool test per event otherwise.
+            self.loop.enable_dispatch_counts()
         self.sampler: Optional[Sampler] = None
         if sample_interval is not None and self._obs:
             self.sampler = Sampler(self.registry, sample_interval)
@@ -299,12 +324,24 @@ class ProbabilisticQoSSystem:
             self._refresh_gauges()
             if self.sampler is not None:
                 self.sampler.sample(self.loop.now)
+        spans: Optional[SpanTimeline] = None
+        if self._span_builder is not None:
+            spans = self._span_builder.build(
+                end_time=self.loop.now,
+                meta={
+                    "workload_jobs": len(self.workload),
+                    "events_processed": self.loop.processed_events,
+                    "dispatch_counts": self.loop.dispatch_counts(),
+                    "config": asdict(self.config),
+                },
+            )
         return SimulationResult(
             metrics=self.metrics.finalize(self.config.node_count),
             config=self.config,
             outcomes=self.metrics.outcomes(),
             events_processed=self.loop.processed_events,
             obs=self.registry.snapshot() if self._obs else None,
+            spans=spans,
         )
 
     # ------------------------------------------------------------------
@@ -330,8 +367,14 @@ class ProbabilisticQoSSystem:
             job_id=job.job_id,
             deadline=outcome.guarantee.deadline,
             probability=outcome.guarantee.probability,
+            predicted_pf=outcome.guarantee.predicted_failure_probability,
+            user_threshold=self.config.user_threshold,
             planned_start=outcome.start,
+            planned_nodes=list(outcome.nodes),
+            size=job.size,
+            offers_made=outcome.offers_made,
             offers_declined=outcome.guarantee.offers_declined,
+            forced=outcome.forced,
         )
         state.start_event = self.loop.schedule(
             outcome.start, EventKind.START, job_id=job.job_id
@@ -423,14 +466,23 @@ class ProbabilisticQoSSystem:
             deadline=state.guarantee.deadline if state.guarantee else None,
             predictor=self.predictor,
         )
-        if self.policy.should_checkpoint(ctx):
+        decision = self.policy.decide(ctx)
+        if decision.perform:
+            state.pending_decision = decision
             state.run_event = self.loop.schedule(
                 now, EventKind.CHECKPOINT_START, job_id=job_id
             )
         else:
             run.skip_checkpoint(now)
             self.metrics.record_checkpoint(job_id, performed=False)
-            self.recorder.record(now, "checkpoint_skipped", job_id=job_id)
+            self.recorder.record(
+                now,
+                "checkpoint_skipped",
+                job_id=job_id,
+                reason=decision.reason,
+                p_f=decision.failure_probability,
+                at_risk=decision.at_risk,
+            )
             self._schedule_run_event(state)
 
     def _on_checkpoint_start(self, event: Event) -> None:
@@ -457,9 +509,14 @@ class ProbabilisticQoSSystem:
         self.metrics.record_checkpoint(
             job_id, performed=True, overhead=self.config.checkpoint_overhead
         )
+        decision = state.pending_decision
+        state.pending_decision = None
         self.recorder.record(
             self.loop.now, "checkpoint_performed", job_id=job_id,
             saved_progress=run.saved_progress,
+            began_at=run.last_checkpoint_start,
+            reason=decision.reason if decision is not None else None,
+            p_f=decision.failure_probability if decision is not None else None,
         )
         if self.config.proactive_evacuation and self._maybe_evacuate(state):
             return
@@ -485,7 +542,15 @@ class ProbabilisticQoSSystem:
         self.metrics.record_finish(job_id, now)
         if self._obs:
             self._c_completed.inc()
-        self.recorder.record(now, "finish", job_id=job_id)
+        guarantee = state.guarantee
+        self.recorder.record(
+            now,
+            "finish",
+            job_id=job_id,
+            deadline=guarantee.deadline if guarantee is not None else None,
+            promised=guarantee.probability if guarantee is not None else None,
+            met=guarantee.kept(now) if guarantee is not None else None,
+        )
         self._after_capacity_freed(now)
 
     # ------------------------------------------------------------------
@@ -516,8 +581,11 @@ class ProbabilisticQoSSystem:
         self.recorder.record(
             now, "killed", job_id=job_id,
             lost_node_seconds=lost_wall * state.job.size,
+            lost_wall_seconds=lost_wall,
+            durable_progress=durable,
         )
         state.saved_progress = durable
+        state.pending_decision = None
         state.run = None
         if state.run_event is not None:
             state.run_event.cancel()
@@ -701,10 +769,11 @@ def simulate(
     user: Optional[UserModel] = None,
     registry: Optional[MetricsRegistry] = None,
     sample_interval: Optional[float] = None,
+    recorder: Optional[TraceRecorder] = None,
 ) -> SimulationResult:
     """One-call convenience: build the system and run it to completion."""
     system = ProbabilisticQoSSystem(
         config, workload, failures, predictor=predictor, user=user,
-        registry=registry, sample_interval=sample_interval,
+        registry=registry, sample_interval=sample_interval, recorder=recorder,
     )
     return system.run()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.tracelog import TraceRecorder
 from repro.core.metrics import SimulationMetrics
 from repro.core.system import SimulationResult, SystemConfig, simulate
 from repro.experiments.cache import PointCache
@@ -64,6 +65,11 @@ class ExperimentContext:
         cache: Optional persistent :class:`~repro.experiments.cache
             .PointCache` consulted before, and populated after, every
             simulated point.
+        recorder: Optional trace recorder threaded into every simulation
+            this context executes in-process (``--trace`` on batch
+            commands).  Memo/cache hits skip simulation and therefore
+            contribute no records; recorders do not cross process
+            boundaries, so callers should keep ``jobs=1`` when tracing.
     """
 
     setup: ExperimentSetup
@@ -73,6 +79,7 @@ class ExperimentContext:
     registry: Optional[MetricsRegistry] = None
     jobs: int = 1
     cache: Optional[PointCache] = None
+    recorder: Optional[TraceRecorder] = None
 
     @classmethod
     def prepare(
@@ -83,6 +90,7 @@ class ExperimentContext:
         registry: Optional[MetricsRegistry] = None,
         jobs: int = 1,
         cache: Optional[PointCache] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> "ExperimentContext":
         """Build the context, synthesising whatever is not supplied.
 
@@ -103,7 +111,7 @@ class ExperimentContext:
             )
         return cls(
             setup=setup, log=log, failures=failures, registry=registry,
-            jobs=jobs, cache=cache,
+            jobs=jobs, cache=cache, recorder=recorder,
         )
 
     # ------------------------------------------------------------------
@@ -142,7 +150,8 @@ class ExperimentContext:
             return cached
         config = self.config(accuracy, user_threshold, **overrides)
         result = simulate(
-            config, self.log, self.failures, registry=self.registry
+            config, self.log, self.failures, registry=self.registry,
+            recorder=self.recorder,
         )
         self._cache[key] = result.metrics
         return result.metrics
@@ -202,21 +211,25 @@ class ExperimentContext:
         self,
         accuracy: float,
         user_threshold: float,
-        registry: MetricsRegistry,
+        registry: Optional[MetricsRegistry] = None,
         sample_interval: Optional[float] = None,
+        recorder: Optional[TraceRecorder] = None,
         **overrides,
     ):
-        """Simulate one point with a live obs registry (never memoised).
+        """Simulate one point with live instrumentation (never memoised).
 
         Instrumented runs bypass the cache in both directions: a cached
-        metrics object carries no counters, and the counters of a fresh run
-        must reflect exactly one simulation, not whichever point happened
-        to run first.
+        metrics object carries no counters or records, and the output of a
+        fresh run must reflect exactly one simulation, not whichever point
+        happened to run first.  Either a metrics ``registry``, a trace
+        ``recorder`` (e.g. a :class:`~repro.obs.trace.SpanBuilder`), or
+        both may be attached.
 
         Returns:
             ``(result, sampler)`` — the full :class:`SimulationResult`
-            (with ``.obs`` attached) and the system's sampler (None unless
-            ``sample_interval`` was given with a live registry).
+            (with ``.obs``/``.spans`` attached as applicable) and the
+            system's sampler (None unless ``sample_interval`` was given
+            with a live registry).
         """
         from repro.core.system import ProbabilisticQoSSystem
 
@@ -224,6 +237,7 @@ class ExperimentContext:
         system = ProbabilisticQoSSystem(
             config, self.log, self.failures,
             registry=registry, sample_interval=sample_interval,
+            recorder=recorder,
         )
         return system.run(), system.sampler
 

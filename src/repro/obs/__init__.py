@@ -27,8 +27,30 @@ from repro.obs.registry import (
     NullRegistry,
 )
 from repro.obs.sampler import Sampler
+from repro.obs.trace import (
+    SPAN_SCHEMA_VERSION,
+    Mark,
+    Span,
+    SpanBuilder,
+    SpanTimeline,
+    explain_job,
+    summarize_timeline,
+    timeline_from_records,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
 
 __all__ = [
+    "SPAN_SCHEMA_VERSION",
+    "Mark",
+    "Span",
+    "SpanBuilder",
+    "SpanTimeline",
+    "explain_job",
+    "summarize_timeline",
+    "timeline_from_records",
+    "to_chrome_trace",
+    "validate_chrome_trace",
     "OBS_SCHEMA_VERSION",
     "build_report",
     "load_report",

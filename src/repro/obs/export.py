@@ -75,6 +75,45 @@ def _format_value(value: float) -> str:
     return f"{int(value)}"
 
 
+#: Eight block heights, lowest to highest, for sparkline rendering.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+#: Metrics shown in the summarize time-series section.
+SERIES_TOP_K = 8
+
+
+def _sparkline(values: List[float], width: int = 24) -> str:
+    """Render a value series as a fixed-width block-character sparkline.
+
+    Longer series are bucketed down to ``width`` columns (each column shows
+    its bucket's mean); shorter series use one column per sample.  A flat
+    series renders at the lowest level so trends stay visually honest.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        buckets: List[float] = []
+        for column in range(width):
+            lo = column * len(values) // width
+            hi = max(lo + 1, (column + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        values = buckets
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    return "".join(
+        _SPARK_LEVELS[
+            min(
+                len(_SPARK_LEVELS) - 1,
+                int((v - low) / span * len(_SPARK_LEVELS)),
+            )
+        ]
+        for v in values
+    )
+
+
 def summarize(report: Dict[str, Any]) -> str:
     """Render a loaded report as the ``probqos obs summarize`` text."""
     lines: List[str] = []
@@ -133,6 +172,23 @@ def summarize(report: Dict[str, Any]) -> str:
                 else ""
             )
         )
+        final = rows[-1].get("metrics", {})
+        top = sorted(final.items(), key=lambda kv: (-kv[1], kv[0]))[:SERIES_TOP_K]
+        if top:
+            lines.append(
+                f"  top {len(top)} metrics by final value "
+                "(sparkline over all samples):"
+            )
+            width = max(len(name) for name, _ in top)
+            for name, _ in top:
+                values = [row.get("metrics", {}).get(name, 0.0) for row in rows]
+                lines.append(
+                    f"  {name:<{width}}  {_sparkline(values)}  "
+                    f"min={_format_value(min(values))} "
+                    f"mean={sum(values) / len(values):.4g} "
+                    f"max={_format_value(max(values))} "
+                    f"final={_format_value(values[-1])}"
+                )
     else:
         lines.append("")
         lines.append("Time series: no samples (no sampler attached)")

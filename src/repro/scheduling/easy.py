@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.tracelog import NullRecorder, TraceRecorder
 from repro.checkpointing.runtime import JobRun, padded_remaining
 from repro.cluster.machine import Cluster
 from repro.core.metrics import MetricsCollector, SimulationMetrics
@@ -61,7 +62,16 @@ class _EasyJobState:
 
 
 class EasyBackfillSimulator:
-    """Replays a workload under EASY backfilling (no promises, no prediction)."""
+    """Replays a workload under EASY backfilling (no promises, no prediction).
+
+    Args:
+        recorder: Optional trace recorder (see
+            :mod:`repro.analysis.tracelog`).  EASY makes no promises, so
+            its traces have no ``negotiated`` records — start, checkpoint,
+            failure, requeue, and finish transitions still assemble into
+            spans, which is what lets the span layer render the comparator
+            side by side with the paper's system.
+    """
 
     def __init__(
         self,
@@ -69,10 +79,14 @@ class EasyBackfillSimulator:
         workload: JobLog,
         failures: FailureTrace,
         registry: Optional[MetricsRegistry] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.config = config
         self.workload = workload
         self.failures = failures
+        self.recorder: TraceRecorder = (
+            recorder if recorder is not None else NullRecorder()
+        )
         registry = registry if registry is not None else NULL_REGISTRY
         self._registry = registry
         self._obs = registry.enabled
@@ -214,6 +228,7 @@ class EasyBackfillSimulator:
         state.waiting = False
         now = self.loop.now
         self.metrics.record_start(state.job.job_id, now)
+        self.recorder.record(now, "start", job_id=state.job.job_id, nodes=list(nodes))
         state.run = JobRun(
             job_id=state.job.job_id,
             total_work=state.job.runtime,
@@ -259,6 +274,7 @@ class EasyBackfillSimulator:
         self._unfinished -= 1
         self.cluster.remove_job(job_id)
         self.metrics.record_finish(job_id, self.loop.now)
+        self.recorder.record(self.loop.now, "finish", job_id=job_id)
         self._schedule_pass()
 
     def _on_checkpoint_request(self, event: Event) -> None:
@@ -282,6 +298,10 @@ class EasyBackfillSimulator:
         else:
             run.skip_checkpoint(now)
             self.metrics.record_checkpoint(job_id, performed=False)
+            self.recorder.record(
+                now, "checkpoint_skipped", job_id=job_id,
+                reason="checkpointing-disabled",
+            )
             self._schedule_run_event(state)
 
     def _on_checkpoint_finish(self, event: Event) -> None:
@@ -292,6 +312,12 @@ class EasyBackfillSimulator:
             return
         run.complete_checkpoint(self.loop.now)
         state.saved_progress = run.saved_progress
+        self.recorder.record(
+            self.loop.now, "checkpoint_performed", job_id=job_id,
+            saved_progress=run.saved_progress,
+            began_at=run.last_checkpoint_start,
+            reason="periodic-always",
+        )
         self._schedule_run_event(state)
 
     def _on_failure(self, event: Event) -> None:
@@ -299,12 +325,20 @@ class EasyBackfillSimulator:
         now = self.loop.now
         victim_id, recovery = self.cluster.fail_node(node, now)
         self.loop.schedule(recovery, EventKind.RECOVERY, node=node)
+        self.recorder.record(now, "failure", node=node, victim=victim_id)
+        self.recorder.record(now, "node_down", node=node, until=recovery)
         if victim_id is not None:
             state = self._states[victim_id]
             run = state.run
             assert run is not None
             lost_wall, durable = run.kill(now)
             self.metrics.record_failure_hit(victim_id, lost_wall * state.job.size)
+            self.recorder.record(
+                now, "killed", job_id=victim_id,
+                lost_node_seconds=lost_wall * state.job.size,
+                lost_wall_seconds=lost_wall,
+                durable_progress=durable,
+            )
             state.saved_progress = durable
             state.run = None
             if state.run_event is not None:
@@ -314,12 +348,16 @@ class EasyBackfillSimulator:
             state.waiting = True
             self._queue.append(victim_id)
             self._queue.sort(key=lambda jid: self._states[jid].job.arrival_time)
+            self.recorder.record(now, "requeued", job_id=victim_id)
         if self._unfinished > 0:
             self._schedule_next_failure()
         self._schedule_pass()
 
     def _on_recovery(self, event: Event) -> None:
-        self.cluster.recover_node(event.payload["node"], self.loop.now)
+        node = event.payload["node"]
+        self.cluster.recover_node(node, self.loop.now)
+        if self.cluster.node(node).is_up:
+            self.recorder.record(self.loop.now, "node_up", node=node)
         self._schedule_pass()
 
     def _schedule_next_failure(self) -> None:
@@ -341,6 +379,9 @@ def simulate_easy(
     workload: JobLog,
     failures: FailureTrace,
     registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[TraceRecorder] = None,
 ) -> SimulationMetrics:
     """One-call convenience for the EASY comparator."""
-    return EasyBackfillSimulator(config, workload, failures, registry=registry).run()
+    return EasyBackfillSimulator(
+        config, workload, failures, registry=registry, recorder=recorder
+    ).run()

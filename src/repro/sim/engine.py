@@ -72,6 +72,11 @@ class EventLoop:
         self._dispatch_counters: Dict[EventKind, Counter] = {}
         self._handler_timers: Dict[EventKind, Histogram] = {}
         self._live_by_kind: Dict[EventKind, int] = {}
+        # Dispatch counting for the span layer (repro.obs.trace): a plain
+        # per-kind dict, cheaper than registry counters and available even
+        # without a registry.  Costs one bool test per event when off.
+        self._count_dispatch = False
+        self._dispatch_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -184,6 +189,9 @@ class EventLoop:
                 self._handler_timer(event.kind).observe(time.perf_counter() - t0)  # qoslint: disable=QOS102 -- obs handler timer: wall duration goes to the registry only
             else:
                 handler(event)
+            if self._count_dispatch:
+                key = event.kind.value
+                self._dispatch_counts[key] = self._dispatch_counts.get(key, 0) + 1
             self._processed += 1
             return event
         return None
@@ -223,6 +231,19 @@ class EventLoop:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def enable_dispatch_counts(self) -> None:
+        """Start counting dispatched events per kind (for trace metadata)."""
+        self._count_dispatch = True
+
+    def dispatch_counts(self) -> Dict[str, int]:
+        """Dispatched events per kind value since counting was enabled.
+
+        Empty unless :meth:`enable_dispatch_counts` was called — the span
+        layer turns it on so exported timelines can carry an event-mix
+        breakdown without requiring a metrics registry.
+        """
+        return dict(self._dispatch_counts)
+
     def observe_gauges(self) -> None:
         """Publish point-in-time engine state (live events per kind) to the
         registry.  Called by the owner at sampling instants; a no-op with

@@ -70,6 +70,52 @@ class TestRendering:
         assert len(body) == 25
 
 
+def churn_trace():
+    """Evacuation and requeue churn: job 1 moves nodes twice."""
+    recorder = TraceRecorder()
+    recorder.record(0.0, "start", job_id=1, nodes=[0, 1])
+    recorder.record(40.0, "checkpoint_performed", job_id=1, began_at=35.0)
+    recorder.record(40.0, "evacuated", job_id=1, predicted_pf=0.7, nodes=[0, 1])
+    recorder.record(40.0, "requeued", job_id=1, restart_at=60.0, nodes=[2, 3])
+    recorder.record(60.0, "start", job_id=1, nodes=[2, 3])
+    recorder.record(90.0, "killed", job_id=1)
+    recorder.record(90.0, "requeued", job_id=1, restart_at=120.0, nodes=[0, 1])
+    recorder.record(120.0, "start", job_id=1, nodes=[0, 1])
+    recorder.record(200.0, "finish", job_id=1)
+    return recorder
+
+
+class TestChurnReconstruction:
+    def test_evacuation_closes_the_interval_on_the_old_nodes(self):
+        intervals = occupancy_intervals(churn_trace())
+        first_leg = [i for i in intervals if i.start == 0.0]
+        assert {(i.node, i.end) for i in first_leg} == {(0, 40.0), (1, 40.0)}
+
+    def test_each_attempt_occupies_its_own_partition(self):
+        intervals = occupancy_intervals(churn_trace())
+        by_leg = sorted({(i.start, i.end) for i in intervals})
+        assert by_leg == [(0.0, 40.0), (60.0, 90.0), (120.0, 200.0)]
+        middle = {i.node for i in intervals if i.start == 60.0}
+        assert middle == {2, 3}
+
+    def test_render_shows_the_job_on_both_partitions(self):
+        chart = render_gantt(churn_trace(), node_count=4, width=40)
+        rows = {
+            int(line.split("|")[0].split()[1]): line.split("|")[1]
+            for line in chart.splitlines()
+            if line.startswith("node")
+        }
+        assert "1" in rows[0]
+        assert "1" in rows[2]
+
+    def test_open_run_is_drawn_to_the_explicit_horizon(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "start", job_id=1, nodes=[0])
+        chart = render_gantt(recorder, node_count=1, width=20, end_time=100.0)
+        row = next(l for l in chart.splitlines() if l.startswith("node"))
+        assert row.split("|")[1] == "1" * 20
+
+
 class TestSystemIntegration:
     def test_full_simulation_trace_renders(self, tiny_jobs, tiny_failures):
         from repro.core.system import ProbabilisticQoSSystem, SystemConfig

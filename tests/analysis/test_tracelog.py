@@ -103,3 +103,59 @@ class TestStreamingAndNull:
         assert recorder.of_kind("start") == []
         assert recorder.for_job(1) == []
         assert recorder.counts() == {}
+
+
+class TestFromRecords:
+    def live_recorder(self) -> TraceRecorder:
+        recorder = TraceRecorder()
+        recorder.record(1.0, "start", job_id=1, nodes=[0])
+        recorder.record(2.0, "failure", node=0, victim=1)
+        recorder.record(2.0, "killed", job_id=1, lost_wall_seconds=1.0)
+        recorder.record(9.0, "start", job_id=2, nodes=[3])
+        return recorder
+
+    def test_replay_rebuilds_the_indexes(self):
+        live = self.live_recorder()
+        replayed = TraceRecorder.from_records(live.records)
+        assert replayed.records == live.records
+        assert replayed.counts() == live.counts()
+        assert replayed.of_kind("start") == live.of_kind("start")
+        assert [r.kind for r in replayed.for_job(1)] == ["start", "killed"]
+
+    def test_replay_through_a_jsonl_roundtrip(self):
+        stream = io.StringIO()
+        live = TraceRecorder(stream=stream)
+        live.record(1.5, "negotiated", job_id=4, probability=0.75)
+        live.record(3.0, "finish", job_id=4, met=True)
+        replayed = TraceRecorder.from_records(
+            load_jsonl(stream.getvalue().splitlines())
+        )
+        assert replayed.records == live.records
+
+    def test_replay_validates_kinds(self):
+        bogus = TraceRecord(time=1.0, kind="teleported", job_id=1)
+        with pytest.raises(ValueError, match="teleported"):
+            TraceRecorder.from_records([bogus])
+
+    def test_replay_can_restream(self):
+        stream = io.StringIO()
+        live = self.live_recorder()
+        TraceRecorder.from_records(
+            live.records, stream=stream, keep_in_memory=False
+        )
+        assert load_jsonl(stream.getvalue().splitlines()) == live.records
+
+    def test_to_json_parses_back_to_the_same_record(self):
+        import json
+
+        record = TraceRecord(
+            time=2.5, kind="negotiated", job_id=3, detail={"probability": 0.9}
+        )
+        data = json.loads(record.to_json())
+        assert data == {
+            "time": 2.5,
+            "kind": "negotiated",
+            "job_id": 3,
+            "node": None,
+            "detail": {"probability": 0.9},
+        }

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.checkpointing.policies import (
+    CheckpointDecision,
     CheckpointDecisionContext,
     CooperativePolicy,
     NeverPolicy,
@@ -112,6 +113,51 @@ class TestBaselinePolicies:
     def test_risk_free_performs_on_any_prediction(self):
         assert RiskFreePolicy().should_checkpoint(ctx(p_f=0.01))
         assert not RiskFreePolicy().should_checkpoint(ctx(p_f=0.0))
+
+
+class TestDecisionRationale:
+    """decide() explains what should_checkpoint() only answers."""
+
+    def test_skip_reports_risk_below_overhead_with_evidence(self):
+        decision = CooperativePolicy().decide(ctx(p_f=0.1))
+        assert decision == CheckpointDecision(
+            perform=False,
+            reason="risk-below-overhead",
+            failure_probability=0.1,
+            at_risk=3600.0,
+        )
+
+    def test_perform_reports_risk_exceeds_overhead(self):
+        decision = CooperativePolicy().decide(ctx(p_f=0.5))
+        assert decision.perform
+        assert decision.reason == "risk-exceeds-overhead"
+        assert decision.at_risk == 3600.0
+
+    def test_deadline_rescue_is_named(self):
+        context = ctx(p_f=0.9, remaining=1000.0, now=0.0, deadline=1500.0)
+        decision = CooperativePolicy().decide(context)
+        assert not decision.perform
+        assert decision.reason == "deadline-rescue"
+
+    def test_at_risk_scales_with_skipped_intervals(self):
+        assert CooperativePolicy().decide(ctx(p_f=0.1, skipped=3)).at_risk == 4 * 3600.0
+
+    def test_should_checkpoint_delegates_to_decide(self):
+        for policy in (
+            CooperativePolicy(), PeriodicPolicy(), NeverPolicy(), RiskFreePolicy(),
+        ):
+            for context in (ctx(p_f=0.0), ctx(p_f=0.5)):
+                assert policy.should_checkpoint(context) == policy.decide(
+                    context
+                ).perform
+
+    def test_baseline_reasons(self):
+        assert PeriodicPolicy().decide(ctx()).reason == "periodic-always"
+        assert NeverPolicy().decide(ctx()).reason == "never-policy"
+        assert RiskFreePolicy().decide(ctx(p_f=0.3)).reason == "failure-predicted"
+        assert (
+            RiskFreePolicy().decide(ctx(p_f=0.0)).reason == "no-failure-predicted"
+        )
 
 
 class TestContextProbability:

@@ -1,0 +1,118 @@
+"""End-to-end CLI tests for --trace flight recording and `probqos trace`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.tracelog import load_jsonl
+from repro.cli import main
+from repro.obs.trace import validate_chrome_trace
+
+
+class TestRunWithTrace:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+        code = main(
+            [
+                "run",
+                "--workload", "nasa",
+                "--job-count", "60",
+                "--seed", "3",
+                "-a", "0.5",
+                "-U", "0.5",
+                "--trace", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_trace_file_is_loadable_jsonl(self, trace_path):
+        with open(trace_path) as fh:
+            records = load_jsonl(fh)
+        kinds = {r.kind for r in records}
+        assert {"negotiated", "start", "finish"} <= kinds
+        assert len([r for r in records if r.kind == "negotiated"]) == 60
+
+    def test_run_prints_the_span_summary(self, trace_path, capsys):
+        code = main(
+            [
+                "run",
+                "--workload", "nasa",
+                "--job-count", "30",
+                "--seed", "3",
+                "--trace", str(trace_path.parent / "again.jsonl"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Span timeline:" in out
+        assert "probqos trace export" in out
+
+    def test_export_writes_valid_chrome_json(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "trace.chrome.json"
+        code = main(
+            ["trace", "export", str(trace_path), "--format", "chrome",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        with open(out) as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+
+    def test_export_defaults_the_output_path(self, trace_path, capsys):
+        assert main(["trace", "export", str(trace_path)]) == 0
+        default = str(trace_path) + ".chrome.json"
+        assert default in capsys.readouterr().out
+        with open(default) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+
+    def test_explain_reconstructs_a_guarantee_story(self, trace_path, capsys):
+        assert main(["trace", "explain", str(trace_path), "--job", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "guarantee audit trail" in out
+        assert "negotiated: promised p=" in out
+        assert "Verdict:" in out
+
+    def test_explain_unknown_job_lists_whats_there(self, trace_path, capsys):
+        assert main(["trace", "explain", str(trace_path), "--job", "9999"]) == 1
+        err = capsys.readouterr().err
+        assert "no trace of job 9999" in err
+        assert "jobs present:" in err
+
+    def test_unreadable_trace_is_a_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["trace", "export", str(missing)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestBatchCommandsWithTrace:
+    def test_figure_trace_forces_sequential_execution(self, tmp_path, capsys):
+        path = tmp_path / "fig.jsonl"
+        code = main(
+            [
+                "figure", "7",
+                "--job-count", "30",
+                "--seed", "5",
+                "--jobs", "4",
+                "--trace", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--trace forces --jobs 1" in out
+        assert "trace written to" in out
+        with open(path) as fh:
+            records = load_jsonl(fh)
+        assert len(records) > 0
+
+    def test_table_trace_writes_an_empty_file_with_a_note(self, tmp_path, capsys):
+        path = tmp_path / "table.jsonl"
+        assert main(["table", "2", "--trace", str(path)]) == 0
+        assert "tables simulate nothing" in capsys.readouterr().out
+        assert path.read_text() == ""

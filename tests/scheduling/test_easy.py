@@ -89,6 +89,53 @@ class TestBackfilling:
         assert start2 == pytest.approx(HOUR, abs=1.0)  # not delayed by job 3
 
 
+class TestTracing:
+    def test_recorder_captures_the_schedule(self, tiny_jobs, empty_failures):
+        from repro.analysis.tracelog import TraceRecorder
+
+        recorder = TraceRecorder()
+        simulate_easy(
+            EasyConfig(node_count=16), tiny_jobs, empty_failures,
+            recorder=recorder,
+        )
+        counts = recorder.counts()
+        assert counts["start"] == 5
+        assert counts["finish"] == 5
+        assert "negotiated" not in counts  # EASY makes no promises
+
+    def test_failure_story_is_recorded(self):
+        from repro.analysis.tracelog import TraceRecorder
+
+        log = JobLog([Job(1, 0.0, 16, 2 * HOUR)], name="wide")
+        failures = FailureTrace([FailureEvent(1, HOUR, 0)])
+        recorder = TraceRecorder()
+        simulate_easy(
+            EasyConfig(node_count=16, checkpointing=False), log, failures,
+            recorder=recorder,
+        )
+        kinds = [r.kind for r in recorder.for_job(1)]
+        assert kinds[0] == "start"
+        assert "killed" in kinds
+        assert "requeued" in kinds
+        assert kinds[-1] == "finish"
+        killed = recorder.of_kind("killed")[0]
+        assert killed.detail["lost_wall_seconds"] == pytest.approx(HOUR)
+
+    def test_trace_feeds_the_span_layer(self, tiny_jobs, tiny_failures):
+        from repro.analysis.tracelog import TraceRecorder
+        from repro.obs.trace import timeline_from_records
+
+        recorder = TraceRecorder()
+        simulate_easy(
+            EasyConfig(node_count=16), tiny_jobs, tiny_failures,
+            recorder=recorder,
+        )
+        timeline = timeline_from_records(recorder.records)
+        runs = [s for s in timeline.spans if s.name == "running"]
+        assert len(runs) >= 5
+        assert timeline.job_ids() == [1, 2, 3, 4, 5]
+
+
 class TestDisciplineComparison:
     def test_easy_waits_are_no_worse_than_conservative(self):
         log = sdsc_log(seed=9, job_count=150).scaled_sizes(32)

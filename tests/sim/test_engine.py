@@ -271,3 +271,38 @@ class TestQueueIntrospectionFastPaths:
         assert loop.peek_time() == 2.0
         assert loop.run() == 1
         assert [t for t, _, _ in log] == [2.0]
+
+
+class TestDispatchCounts:
+    def test_counting_is_off_by_default(self):
+        loop, _ = make_loop_with_log()
+        loop.schedule(1.0, EventKind.WAKEUP)
+        loop.run()
+        assert loop.dispatch_counts() == {}
+
+    def test_counts_tally_per_kind_when_enabled(self):
+        loop, _ = make_loop_with_log()
+        loop.enable_dispatch_counts()
+        loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(2.0, EventKind.WAKEUP)
+        loop.schedule(3.0, EventKind.RECOVERY, node=1)
+        loop.run()
+        assert loop.dispatch_counts() == {"wakeup": 2, "recovery": 1}
+
+    def test_cancelled_events_are_not_counted(self):
+        loop, _ = make_loop_with_log()
+        loop.enable_dispatch_counts()
+        doomed = loop.schedule(1.0, EventKind.WAKEUP)
+        loop.schedule(2.0, EventKind.WAKEUP)
+        doomed.cancel()
+        loop.run()
+        assert loop.dispatch_counts() == {"wakeup": 1}
+
+    def test_counts_returns_a_copy(self):
+        loop, _ = make_loop_with_log()
+        loop.enable_dispatch_counts()
+        loop.schedule(1.0, EventKind.WAKEUP)
+        loop.run()
+        counts = loop.dispatch_counts()
+        counts["wakeup"] = 99
+        assert loop.dispatch_counts() == {"wakeup": 1}
