@@ -21,6 +21,13 @@ evaluation pipeline:
   metrics and reports both speedups plus cache hit statistics.  The
   parallel speedup is hardware-bound (``params.cpu_count`` records what
   was available); the warm-cache speedup is not.
+* ``negotiation_fastpath`` — picky near-full-cluster dialogues run in
+  probe, analytical, and oracle negotiation modes.  Bookings must be
+  bit-identical across all three; the scenario records probes per
+  dialogue, predictor queries per dialogue, and the probe-vs-analytical
+  wall time, plus a grid-level ``prediction.trace.queries`` comparison on
+  the ``figures_grid`` points.  The ≥10× probe/query reduction gates in
+  ``tests/test_perf_smoke.py`` apply here (count-based, so CI-noise-proof).
 
 The first three scenarios run on the optimised
 :class:`~repro.cluster.reservations.ReservationLedger` *and* on the frozen
@@ -49,6 +56,7 @@ import repro.cluster.machine as machine_module
 from repro.cluster.reference import SeedReservationLedger
 from repro.cluster.reservations import ReservationLedger
 from repro.cluster.topology import FlatTopology
+from repro.core.fastpath import AnalyticalEvaluator
 from repro.core.negotiation import Negotiator
 from repro.core.system import simulate
 from repro.core.users import RiskThresholdUser
@@ -57,6 +65,7 @@ from repro.experiments.config import ExperimentSetup
 from repro.experiments.runner import ExperimentContext
 from repro.obs.registry import MetricsRegistry
 from repro.prediction.trace import TracePredictor
+from repro.scheduling.placement import fault_aware_scorer
 from repro.failures.generator import FailureModelSpec, generate_failure_trace
 
 #: Presets trade fidelity for wall clock; ``smoke`` exists so the tier-1
@@ -67,10 +76,12 @@ PRESETS: Dict[str, Dict] = {
     "default": dict(
         nodes=128, bookings=400, queries=150, dialogue_jobs=60, nasa_jobs=250,
         grid_jobs=150, grid_accuracies=11, grid_users=(0.1, 0.9), pool_jobs=4,
+        fastpath_jobs=40,
     ),
     "smoke": dict(
         nodes=32, bookings=40, queries=15, dialogue_jobs=8, nasa_jobs=0,
         grid_jobs=50, grid_accuracies=3, grid_users=(0.9,), pool_jobs=2,
+        fastpath_jobs=12,
     ),
 }
 
@@ -80,8 +91,11 @@ PRESETS: Dict[str, Dict] = {
 #: it did.  Timed runs stay uninstrumented.  Schema 3 added the
 #: ``figures_grid`` scenario (sequential vs process-pool vs warm-cache
 #: sweep execution, with ``speedup_parallel``/``speedup_warm`` instead of
-#: the current-vs-seed ``speedup``).
-SCHEMA_VERSION = 3
+#: the current-vs-seed ``speedup``).  Schema 4 added the
+#: ``negotiation_fastpath`` scenario (probe vs analytical vs oracle mode:
+#: probes/queries per dialogue, ``probe_reduction``/``query_reduction``
+#: ratios, and a grid-level predictor-query comparison under ``grid``).
+SCHEMA_VERSION = 4
 
 
 # ----------------------------------------------------------------------
@@ -394,6 +408,176 @@ def bench_figures_grid(params: Dict, seed: int, repeats: int) -> Optional[Dict]:
     }
 
 
+def run_fastpath_dialogues(
+    mode: str, nodes: int, jobs: int, seed: int, registry=None
+) -> List[Tuple]:
+    """``jobs`` picky, near-full-cluster dialogues in one negotiation mode.
+
+    Engineered so the probe loop hurts: requests want (nearly) the whole
+    cluster, the failure trace is dense enough that every long window is
+    dirty, and at accuracy 1.0 a U=0.97 user only accepts once the first
+    detectable failure in the window carries ``p_x ≤ 0.03`` — so probe
+    mode prices ~30 candidates per dialogue while the analytical bound
+    (exact at full cluster, near-exact one node short of it) prunes the
+    hopeless ones without ever touching the predictor.
+    """
+    rng = random.Random(seed + 3)
+    horizon = 120.0 * 86400.0
+    failures = generate_failure_trace(
+        horizon,
+        spec=FailureModelSpec(nodes=nodes, rate_per_day=24.0),
+        seed=seed,
+    )
+    predictor = TracePredictor(failures, accuracy=1.0, seed=seed)
+    if registry is not None:
+        predictor.bind_registry(registry)
+    ledger = ReservationLedger(nodes)
+    evaluator = (
+        AnalyticalEvaluator(predictor, nodes, registry=registry)
+        if mode != "probe"
+        else None
+    )
+    # Mirror the system wiring: in analytical mode the placement scorer
+    # reads the evaluator's cached terms; probe and oracle score off the
+    # live predictor.
+    query_source = evaluator if mode == "analytical" else predictor
+    negotiator = Negotiator(
+        ledger,
+        FlatTopology(nodes),
+        predictor,
+        fault_aware_scorer(query_source),
+        registry=registry,
+        mode=mode,
+        evaluator=evaluator,
+    )
+    user = RiskThresholdUser(0.97)
+    bookings = []
+    clock = 0.0
+    for job_id in range(20_000, 20_000 + jobs):
+        size = rng.randint(max(1, nodes - 1), nodes)
+        duration = rng.uniform(6.0 * 3600.0, 12.0 * 3600.0)
+        outcome = negotiator.negotiate(job_id, size, duration, clock, user)
+        bookings.append(
+            (
+                outcome.start,
+                outcome.nodes,
+                outcome.reserved_end,
+                outcome.guarantee.probability,
+                outcome.forced,
+            )
+        )
+        clock += rng.uniform(0.0, 600.0)
+    return bookings
+
+
+def bench_negotiation_fastpath(params: Dict, seed: int, repeats: int) -> Dict:
+    """Probe vs analytical vs oracle negotiation on hard dialogues.
+
+    Bookings must be bit-identical across all three modes (oracle mode
+    additionally cross-checks every priced offer at 1e-9 and raises on
+    disagreement).  The headline numbers are count-based — probes and
+    predictor queries per dialogue — so the ≥10× gates downstream are
+    immune to timer noise; wall time is recorded as corroboration.
+    """
+    nodes, jobs = params["nodes"], params["fastpath_jobs"]
+
+    probe_samples, probe_out = _timed(
+        lambda: run_fastpath_dialogues("probe", nodes, jobs, seed), repeats
+    )
+    ana_samples, ana_out = _timed(
+        lambda: run_fastpath_dialogues("analytical", nodes, jobs, seed), repeats
+    )
+    if ana_out != probe_out:
+        raise AssertionError("analytical bookings diverge from probe mode")
+    # Oracle mode raises OracleDisagreement if any priced offer's analytical
+    # probability strays from the probe value; one untimed pass suffices.
+    oracle_out = run_fastpath_dialogues("oracle", nodes, jobs, seed)
+    if oracle_out != probe_out:
+        raise AssertionError("oracle bookings diverge from probe mode")
+
+    obs: Dict[str, Dict[str, float]] = {}
+    for mode in ("probe", "analytical"):
+        registry = MetricsRegistry()
+        run_fastpath_dialogues(mode, nodes, jobs, seed, registry=registry)
+        obs[mode] = _obs_counters(registry)
+    dialogues = obs["probe"]["negotiation.dialogue.dialogues"]
+    probe_probes = obs["probe"]["negotiation.dialogue.probes"]
+    ana_probes = obs["analytical"]["negotiation.dialogue.probes"]
+    probe_queries = obs["probe"]["prediction.trace.queries"]
+    ana_queries = obs["analytical"]["prediction.trace.queries"]
+
+    # Grid-level comparison: the same figures-grid points simulated end to
+    # end in both modes.  The trajectories are identical by construction,
+    # so the metrics must match bit for bit while the predictor query
+    # count collapses.
+    grid = None
+    grid_jobs = params.get("grid_jobs", 0)
+    if grid_jobs > 0:
+        accuracy_count = params["grid_accuracies"]
+        accuracies = [
+            round(k / (accuracy_count - 1), 6) for k in range(accuracy_count)
+        ] if accuracy_count > 1 else [0.5]
+        points = [(a, u) for u in params["grid_users"] for a in accuracies]
+        setup = ExperimentSetup(workload="sdsc", job_count=grid_jobs, seed=seed)
+        grid_queries = {}
+        grid_metrics = {}
+        for mode in ("probe", "analytical"):
+            registry = MetricsRegistry()
+            context = ExperimentContext.prepare(setup, registry=registry)
+            grid_metrics[mode] = context.run_points(
+                points, negotiation_mode=mode
+            )
+            grid_queries[mode] = _obs_counters(registry).get(
+                "prediction.trace.queries", 0
+            )
+        if grid_metrics["probe"] != grid_metrics["analytical"]:
+            raise AssertionError("grid metrics diverge between negotiation modes")
+        grid = {
+            "grid_jobs": grid_jobs,
+            "points": len(points),
+            "predictor_queries": dict(grid_queries),
+            "query_reduction": (
+                grid_queries["probe"] / max(grid_queries["analytical"], 1.0)
+            ),
+            "metrics_identical": True,
+        }
+
+    probe_med = statistics.median(probe_samples)
+    ana_med = statistics.median(ana_samples)
+    return {
+        "description": (
+            "picky near-full-cluster dialogues: probe vs analytical vs "
+            "oracle negotiation modes"
+        ),
+        "params": {
+            "nodes": nodes,
+            "jobs": jobs,
+            "rate_per_day": 24.0,
+            "accuracy": 1.0,
+            "user_threshold": 0.97,
+            "seed": seed,
+        },
+        "probe": _entry(probe_samples),
+        "analytical": _entry(ana_samples),
+        "speedup": probe_med / ana_med if ana_med > 0 else float("inf"),
+        "probes_per_dialogue": {
+            "probe": probe_probes / dialogues,
+            "analytical": ana_probes / dialogues,
+        },
+        "probe_reduction": probe_probes / max(ana_probes, 1.0),
+        "predictor_queries_per_dialogue": {
+            "probe": probe_queries / dialogues,
+            "analytical": ana_queries / dialogues,
+        },
+        "query_reduction": probe_queries / max(ana_queries, 1.0),
+        "pruned": obs["analytical"]["negotiation.dialogue.pruned"],
+        "bookings_identical": True,
+        "oracle_agrees": True,
+        "grid": grid,
+        "obs": obs["analytical"],
+    }
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -414,6 +598,9 @@ def run_benchmarks(
     grid = bench_figures_grid(params, seed, repeats)
     if grid is not None:
         scenarios["figures_grid"] = grid
+    scenarios["negotiation_fastpath"] = bench_negotiation_fastpath(
+        params, seed, repeats
+    )
 
     report = {
         "schema": SCHEMA_VERSION,
@@ -444,7 +631,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         out_path=args.out, preset=preset, repeats=args.repeats, seed=args.seed
     )
     for name, data in report["scenarios"].items():
-        if "speedup" in data:
+        if "probe_reduction" in data:
+            ppd = data["probes_per_dialogue"]
+            qpd = data["predictor_queries_per_dialogue"]
+            print(
+                f"{name:24s} probe {data['probe']['median_s'] * 1e3:9.2f} ms"
+                f"   analytical {data['analytical']['median_s'] * 1e3:9.2f} ms"
+                f" ({data['speedup']:.2f}x)"
+                f"   probes/dlg {ppd['probe']:.1f} -> {ppd['analytical']:.1f}"
+                f" ({data['probe_reduction']:.1f}x)"
+                f"   queries/dlg {qpd['probe']:.1f} -> {qpd['analytical']:.1f}"
+            )
+        elif "speedup" in data:
             print(
                 f"{name:24s} current {data['current']['median_s'] * 1e3:9.2f} ms"
                 f"   seed {data['seed']['median_s'] * 1e3:9.2f} ms"

@@ -42,9 +42,13 @@ def main() -> None:
     # Accuracy 0.9: the failures are almost certainly detectable.
     predictor = TracePredictor(failures, accuracy=0.9, seed=11)
     cluster = Cluster(node_count=NODES)
+    # mode="probe" shows every offer actually laid on the table; the
+    # analytical default books identically but prunes offers a threshold
+    # user is certain to decline, which would hide the dialogue this demo
+    # exists to display (see DESIGN.md "Analytical negotiation fast path").
     negotiator = Negotiator(
         cluster.ledger, FlatTopology(NODES), predictor,
-        scorer=fault_aware_scorer(predictor),
+        scorer=fault_aware_scorer(predictor), mode="probe",
     )
 
     size, duration = NODES, 4 * HOUR  # a 4-hour job needing every node
@@ -76,11 +80,16 @@ def main() -> None:
         )
         cluster.ledger.release(g.job_id)  # clean slate for the next user
 
-    offer = negotiator.suggest_deadline(size, duration, 0.0, target_probability=0.99)
+    suggestion = negotiator.suggest_deadline(
+        size, duration, 0.0, target_probability=0.99
+    )
+    offer = suggestion.offer
+    assert suggestion.found and offer is not None, suggestion.status
     print(
         f"\nsuggest_deadline(target p>=0.99): start the job at "
         f"t={offer.start / HOUR:.2f}h, deadline t={offer.deadline / HOUR:.2f}h, "
-        f"promised p={offer.probability:.3f}"
+        f"promised p={offer.probability:.3f} "
+        f"({suggestion.offers_examined} offer(s) examined)"
     )
 
 

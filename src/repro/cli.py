@@ -74,6 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policy", default="cooperative")
     run.add_argument("--placement", default="fault-aware")
     run.add_argument("--topology", default="flat")
+    _add_negotiation_args(run)
     _add_env_args(run)
     _add_obs_args(run)
     _add_trace_args(run)
@@ -137,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     suggest.add_argument("--target", type=float, default=0.95)
     suggest.add_argument("--accuracy", "-a", type=float, default=0.7)
+    _add_negotiation_args(suggest)
     _add_env_args(suggest)
     _add_parallel_args(suggest)
 
@@ -197,6 +199,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to disable",
     )
     return parser
+
+
+def _add_negotiation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--negotiation-mode",
+        choices=["probe", "analytical", "oracle"],
+        default="analytical",
+        dest="negotiation_mode",
+        help="offer pricing: 'analytical' (default; cached fast path with "
+        "candidate pruning), 'probe' (per-candidate predictor queries), or "
+        "'oracle' (probe values cross-checked against the fast path)",
+    )
+    parser.add_argument(
+        "--jump-epsilon",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        dest="jump_epsilon",
+        help="seconds the dialogue advances a candidate start past a "
+        "predicted failure (default 1.0)",
+    )
 
 
 def _add_env_args(parser: argparse.ArgumentParser) -> None:
@@ -402,6 +425,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 checkpoint_policy=args.policy,
                 placement=args.placement,
                 topology=args.topology,
+                negotiation_mode=args.negotiation_mode,
+                failure_jump_epsilon=args.jump_epsilon,
             )
         finally:
             if trace_stream is not None:
@@ -415,6 +440,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             checkpoint_policy=args.policy,
             placement=args.placement,
             topology=args.topology,
+            negotiation_mode=args.negotiation_mode,
+            failure_jump_epsilon=args.jump_epsilon,
         )
     pairs = [
         ("QoS", f"{metrics.qos:.4f}"),
@@ -468,17 +495,33 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     ctx = ExperimentContext.prepare(
         setup, jobs=args.jobs, cache=_point_cache(args)
     )
-    config = SystemConfig(accuracy=args.accuracy, seed=setup.seed)
+    config = SystemConfig(
+        accuracy=args.accuracy,
+        seed=setup.seed,
+        negotiation_mode=args.negotiation_mode,
+        failure_jump_epsilon=args.jump_epsilon,
+    )
     system = ProbabilisticQoSSystem(config, JobLog([], name="empty"), ctx.failures)
     probe = Job(job_id=1, arrival_time=0.0, size=args.size, runtime=args.runtime)
     padded = probe.padded_runtime(
         config.checkpoint_interval, config.checkpoint_overhead
     )
-    offer = system.scheduler.negotiator.suggest_deadline(
+    suggestion = system.scheduler.negotiator.suggest_deadline(
         args.size, padded, now=0.0, target_probability=args.target
     )
+    offer = suggestion.offer
     if offer is None:
-        print("no offer reaches the target probability within the dialogue cap")
+        if suggestion.status == "infeasible":
+            print(
+                f"infeasible: no partition of {args.size} nodes can be placed "
+                f"({suggestion.offers_examined} candidates examined)"
+            )
+        else:
+            print(
+                "no offer reaches the target probability within the dialogue "
+                f"cap ({suggestion.offers_examined} candidates examined); a "
+                "feasible deadline may exist further out"
+            )
         return 1
     print(
         format_pairs(

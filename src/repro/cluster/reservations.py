@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
@@ -426,6 +426,31 @@ class ReservationLedger:
         if limit is not None:
             times = times[:limit]
         return times
+
+    def iter_candidate_times(self, earliest: float) -> Iterator[float]:
+        """Lazy :meth:`candidate_times`: same values, no list materialised.
+
+        The negotiation dialogue usually accepts within the first few
+        candidates, so building the full candidate list per dialogue is
+        wasted work on deep queues.  Yields from a snapshot of the end-time
+        array, so the iterator stays valid even if the ledger is mutated
+        mid-iteration (callers still see the candidates of the ledger as it
+        was when iteration started, exactly like :meth:`candidate_times`).
+        """
+        yield earliest
+        idx = bisect.bisect_right(self._end_times, earliest)
+        tail = self._end_times[idx:]
+        last = earliest
+        for t in tail:
+            if t > last:
+                yield t
+                last = t
+
+    def horizon(self) -> float:
+        """The last booking end (0.0 when the book is empty): beyond it the
+        cluster is entirely free and candidate enumeration switches from
+        booking end points to failure jumps."""
+        return self._end_times[-1] if self._end_times else 0.0
 
     def find_slot(
         self,

@@ -7,13 +7,20 @@ from repro.core.calibration import (
     calibration_gap,
     reliability_diagram,
 )
+from repro.core.fastpath import AnalyticalEvaluator
 from repro.core.guarantee import DeadlineOffer, QoSGuarantee
 from repro.core.metrics import (
     JobOutcome,
     MetricsCollector,
     SimulationMetrics,
 )
-from repro.core.negotiation import NegotiationOutcome, Negotiator
+from repro.core.negotiation import (
+    NEGOTIATION_MODES,
+    DeadlineSuggestion,
+    NegotiationOutcome,
+    Negotiator,
+    OracleDisagreement,
+)
 from repro.core.system import (
     ProbabilisticQoSSystem,
     SimulationResult,
@@ -33,13 +40,17 @@ __all__ = [
     "calibration_buckets",
     "calibration_gap",
     "reliability_diagram",
+    "AnalyticalEvaluator",
     "DeadlineOffer",
     "QoSGuarantee",
     "JobOutcome",
     "MetricsCollector",
     "SimulationMetrics",
+    "NEGOTIATION_MODES",
+    "DeadlineSuggestion",
     "NegotiationOutcome",
     "Negotiator",
+    "OracleDisagreement",
     "ProbabilisticQoSSystem",
     "SimulationResult",
     "SystemConfig",

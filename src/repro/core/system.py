@@ -32,8 +32,10 @@ from repro.checkpointing.policies import (
 from repro.checkpointing.runtime import JobRun, padded_remaining
 from repro.cluster.machine import Cluster
 from repro.cluster.topology import Topology, topology_by_name
+from repro.core.fastpath import AnalyticalEvaluator
 from repro.core.guarantee import QoSGuarantee
 from repro.core.metrics import MetricsCollector, SimulationMetrics
+from repro.core.negotiation import NEGOTIATION_MODES
 from repro.core.users import RiskThresholdUser, UserModel
 from repro.failures.events import FailureTrace
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
@@ -79,6 +81,14 @@ class SystemConfig:
         evacuation_threshold: Minimum predicted failure probability that
             triggers an evacuation.
         max_offers: Negotiation dialogue cap.
+        negotiation_mode: Offer-pricing mode — ``"analytical"`` (default;
+            cached fast path with candidate pruning), ``"probe"`` (the
+            original per-candidate predictor queries), or ``"oracle"``
+            (probe values, analytically cross-checked).  All three produce
+            identical accepted offers; see DESIGN.md "Analytical
+            negotiation fast path".
+        failure_jump_epsilon: Seconds the negotiation dialogue advances a
+            candidate start past a predicted failure.
     """
 
     node_count: int = 128
@@ -96,8 +106,20 @@ class SystemConfig:
     proactive_evacuation: bool = False
     evacuation_threshold: float = 0.0
     max_offers: int = 400
+    negotiation_mode: str = "analytical"
+    failure_jump_epsilon: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.negotiation_mode not in NEGOTIATION_MODES:
+            raise ValueError(
+                f"negotiation_mode must be one of {NEGOTIATION_MODES}, "
+                f"got {self.negotiation_mode!r}"
+            )
+        if self.failure_jump_epsilon <= 0:
+            raise ValueError(
+                "failure_jump_epsilon must be > 0, got "
+                f"{self.failure_jump_epsilon}"
+            )
         if not 0.0 <= self.accuracy <= 1.0:
             raise ValueError(f"accuracy must be in [0,1], got {self.accuracy}")
         if not 0.0 <= self.user_threshold <= 1.0:
@@ -227,7 +249,23 @@ class ProbabilisticQoSSystem:
             config.node_count, downtime=config.downtime, registry=self.registry
         )
         self.topology: Topology = topology_by_name(config.topology, config.node_count)
-        scorer = scorer_by_name(config.placement, self.predictor, config.seed)
+        # In analytical/oracle mode one shared evaluator answers every
+        # prediction-shaped query the simulation makes — offer pricing,
+        # placement scoring, checkpoint decisions, evacuation checks — so
+        # the live predictor is only consulted where the evaluator cannot
+        # stand in (its values are identical; see repro.core.fastpath).
+        self.evaluator: Optional[AnalyticalEvaluator] = None
+        if config.negotiation_mode != "probe":
+            self.evaluator = AnalyticalEvaluator(
+                self.predictor, config.node_count, registry=self.registry
+            )
+        query_predictor: Predictor = (
+            self.evaluator
+            if self.evaluator is not None and config.negotiation_mode == "analytical"
+            else self.predictor
+        )
+        self._query_predictor = query_predictor
+        scorer = scorer_by_name(config.placement, query_predictor, config.seed)
         self.scheduler = ConservativeBackfillScheduler(
             self.cluster.ledger,
             self.topology,
@@ -235,6 +273,9 @@ class ProbabilisticQoSSystem:
             scorer,
             max_offers=config.max_offers,
             registry=self.registry,
+            negotiation_mode=config.negotiation_mode,
+            failure_jump_epsilon=config.failure_jump_epsilon,
+            evaluator=self.evaluator,
         )
         self.policy: CheckpointPolicy = policy_by_name(config.checkpoint_policy)
         self.metrics = MetricsCollector()
@@ -464,7 +505,7 @@ class ProbabilisticQoSSystem:
             skipped_since_checkpoint=run.skipped_since_checkpoint,
             remaining_work=run.remaining_work,
             deadline=state.guarantee.deadline if state.guarantee else None,
-            predictor=self.predictor,
+            predictor=self._query_predictor,
         )
         decision = self.policy.decide(ctx)
         if decision.perform:
@@ -638,7 +679,7 @@ class ProbabilisticQoSSystem:
             run.remaining_work + self.config.checkpoint_overhead,
             self.config.checkpoint_interval + 2 * self.config.checkpoint_overhead,
         )
-        p_f = self.predictor.failure_probability(nodes, now, now + horizon)
+        p_f = self._query_predictor.failure_probability(nodes, now, now + horizon)
         if p_f <= self.config.evacuation_threshold:
             return False
 

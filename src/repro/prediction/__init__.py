@@ -17,6 +17,7 @@ from repro.prediction.health import (
     HealthSample,
     THERMAL_SUBSYSTEMS,
 )
+from repro.prediction.index import FailureIntervalIndex
 from repro.prediction.online import OnlinePredictor, OnlinePredictorConfig
 from repro.prediction.trace import TracePredictor
 
@@ -32,6 +33,7 @@ __all__ = [
     "HealthModel",
     "HealthSample",
     "THERMAL_SUBSYSTEMS",
+    "FailureIntervalIndex",
     "OnlinePredictor",
     "OnlinePredictorConfig",
     "TracePredictor",

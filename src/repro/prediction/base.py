@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -87,8 +87,36 @@ class Predictor(abc.ABC):
         paper's "considers them in order of time" semantics.
         """
 
+    def first_predicted_failure(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> Optional[PredictedFailure]:
+        """The earliest disclosed failure in the window, or None.
+
+        The negotiation loop only ever needs the first element of
+        :meth:`predicted_failures` (the jump target past a predicted
+        failure); predictors with an indexed representation override this
+        to avoid materialising the full list.
+        """
+        predicted = self.predicted_failures(nodes, start, end)
+        return predicted[0] if predicted else None
+
     def node_failure_probability(self, node: int, start: float, end: float) -> float:
         """Single-node convenience used for placement scoring."""
+        return self.failure_probability((node,), start, end)
+
+    def node_failure_term(self, node: int, start: float, end: float) -> float:
+        """Per-node hazard term for survival-decomposable predictors.
+
+        The analytical fast path (:mod:`repro.core.fastpath`) memoises
+        these per ``(node, window)`` and combines them independently via
+        :func:`combine_independent`.  Predictors whose set-level
+        ``failure_probability`` *is* the independent combination of
+        per-node hazards (e.g. the online predictor) override this to
+        return the raw hazard, making the cached reconstruction
+        bit-identical; for others the default single-node query makes the
+        reconstruction an independence approximation (see DESIGN.md
+        "Analytical negotiation fast path" for the tolerance contract).
+        """
         return self.failure_probability((node,), start, end)
 
 

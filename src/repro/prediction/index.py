@@ -1,0 +1,217 @@
+"""Interval index over a trace predictor's detectable failures.
+
+The negotiation fast path (see :mod:`repro.core.fastpath`) needs three
+queries answered many times per dialogue, each over a different window:
+
+* the detectability ``p_x`` of the *first* detectable failure on a node
+  set — exactly :meth:`~repro.prediction.trace.TracePredictor
+  .failure_probability`, the paper's retrieval semantics;
+* the per-node variant of the same (the fault-aware placement score);
+* a sound upper bound on the promise *any* partition of a given size
+  could earn in a window (the candidate-pruning bound).
+
+The trace predictor answers the first two by materialising every failure
+in the window and scanning it (``in_window`` allocates a merged, sorted
+list per query).  This index pre-filters the trace once — keeping only
+failures the predictor can actually see (``p_x <= a``) — and stores, per
+failing node, parallel arrays of ``(time, event_id, p_x)`` sorted by
+``(time, event_id)``.  Each query then reduces to one ``bisect`` per
+node: O(log f) with no allocation, and *bit-identical* results, because
+the ``(time, event_id)`` order is exactly the tie-break
+:meth:`~repro.failures.events.FailureTrace.in_window` applies.
+
+Undetectable failures (``p_x > a``) are excluded at build time: the
+predictor cannot see them, so they can never influence a query result.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.failures.events import FailureTrace
+from repro.prediction.base import PredictedFailure
+
+
+class FailureIntervalIndex:
+    """Per-node sorted detectable-failure arrays with O(log f) lookups.
+
+    Args:
+        trace: The failure trace the predictor replays.
+        detectability: Static ``p_x`` per ``event_id`` (the trace
+            predictor's assignment; sharing it keeps results bit-identical
+            across the probe and analytical paths).
+        accuracy: The predictor's accuracy ``a``; failures with
+            ``p_x > a`` are invisible and therefore not indexed.
+    """
+
+    def __init__(
+        self,
+        trace: FailureTrace,
+        detectability: Mapping[int, float],
+        accuracy: float,
+    ) -> None:
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        self._accuracy = float(accuracy)
+        times: Dict[int, List[float]] = {}
+        event_ids: Dict[int, List[int]] = {}
+        px: Dict[int, List[float]] = {}
+        # ``for_node`` preserves the trace's global (time, event_id) sort,
+        # so the per-node arrays inherit exactly the in_window scan order.
+        for node in trace.nodes:
+            for event in trace.for_node(node):
+                value = detectability[event.event_id]
+                if value <= self._accuracy:
+                    times.setdefault(node, []).append(event.time)
+                    event_ids.setdefault(node, []).append(event.event_id)
+                    px.setdefault(node, []).append(value)
+        self._times = times
+        self._event_ids = event_ids
+        self._px = px
+        #: Nodes carrying at least one detectable failure, ascending; every
+        #: other node is clean in every window and never needs scanning.
+        self._failing_nodes: List[int] = sorted(times)
+
+    @property
+    def accuracy(self) -> float:
+        """The accuracy the index was filtered at."""
+        return self._accuracy
+
+    @property
+    def detectable_count(self) -> int:
+        """Total detectable failures indexed."""
+        return sum(len(ts) for ts in self._times.values())
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def _node_first(
+        self, node: int, start: float, end: float
+    ) -> Optional[Tuple[float, int, float]]:
+        """``(time, event_id, p_x)`` of ``node``'s first detectable failure
+        in ``[start, end)``, or None if the node is clean there."""
+        times = self._times.get(node)
+        if not times:
+            return None
+        lo = bisect.bisect_left(times, start)
+        if lo == len(times) or times[lo] >= end:
+            return None
+        return times[lo], self._event_ids[node][lo], self._px[node][lo]
+
+    def node_term(self, node: int, start: float, end: float) -> float:
+        """``p_x`` of the node's first detectable failure in the window, or 0.
+
+        Bit-identical to ``TracePredictor.node_failure_probability``.
+        """
+        if end <= start:
+            return 0.0
+        first = self._node_first(node, start, end)
+        return first[2] if first is not None else 0.0
+
+    def first_detectable(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> Optional[Tuple[float, int, float, int]]:
+        """``(time, event_id, p_x, node)`` of the set's earliest detectable
+        failure in ``[start, end)``, minimised by ``(time, event_id)``."""
+        if end <= start:
+            return None
+        best: Optional[Tuple[float, int, float, int]] = None
+        for node in nodes:
+            first = self._node_first(node, start, end)
+            if first is None:
+                continue
+            candidate = (first[0], first[1], first[2], node)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        return best
+
+    def failure_probability(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> float:
+        """``p_x`` of the first detectable failure on the set, or 0.
+
+        Bit-identical to ``TracePredictor.failure_probability`` — same
+        events, same ``(time, event_id)`` tie-break, same float.
+        """
+        first = self.first_detectable(nodes, start, end)
+        return first[2] if first is not None else 0.0
+
+    def first_predicted(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> Optional[PredictedFailure]:
+        """The set's earliest detectable failure as a
+        :class:`PredictedFailure` (the negotiation jump target)."""
+        first = self.first_detectable(nodes, start, end)
+        if first is None:
+            return None
+        return PredictedFailure(time=first[0], node=first[3], probability=first[2])
+
+    def predicted_failures(
+        self, nodes: Iterable[int], start: float, end: float
+    ) -> List[PredictedFailure]:
+        """All detectable failures on the set in the window, time-sorted
+        (``TracePredictor.predicted_failures`` semantics)."""
+        if end <= start:
+            return []
+        hits: List[Tuple[float, int, float, int]] = []
+        for node in sorted(set(nodes)):
+            times = self._times.get(node)
+            if not times:
+                continue
+            lo = bisect.bisect_left(times, start)
+            hi = bisect.bisect_left(times, end)
+            for i in range(lo, hi):
+                hits.append(
+                    (times[i], self._event_ids[node][i], self._px[node][i], node)
+                )
+        hits.sort(key=lambda h: (h[0], h[1]))
+        return [
+            PredictedFailure(time=t, node=n, probability=p)
+            for t, _, p, n in hits
+        ]
+
+    # ------------------------------------------------------------------
+    # Pruning bound
+    # ------------------------------------------------------------------
+    def best_case_probability(
+        self, size: int, start: float, end: float, node_count: int
+    ) -> float:
+        """Sound upper bound on the promise any ``size``-node partition can
+        earn in ``[start, end)``.
+
+        Derivation (see DESIGN.md "Analytical negotiation fast path"): the
+        set-level ``p_f`` is the ``p_x`` of the partition's earliest
+        detectable failure, which is always some member node's *first*
+        in-window failure.  With ``k`` dirty nodes (first failure at
+        ``t_1 <= ... <= t_k``, detectabilities ``x_1..x_k``) and ``c``
+        clean nodes:
+
+        * ``c >= size`` — an all-clean partition exists, best ``p = 1``;
+        * otherwise every partition must contain ``m = size - c`` dirty
+          nodes, and its earliest-failing member can only be one of the
+          first ``k - m + 1`` dirty nodes in time order (later ones cannot
+          lead a set that needs ``m`` dirty members), so the best promise
+          is ``1 - min(x_1..x_{k-m+1})``.
+
+        Any achievable offer probability is ``<=`` this bound, for every
+        topology (supersets of ``size`` only add failures).
+        """
+        if end <= start:
+            return 1.0
+        dirty: List[Tuple[float, int, float]] = []
+        for node in self._failing_nodes:
+            first = self._node_first(node, start, end)
+            if first is not None:
+                dirty.append(first)
+        clean = node_count - len(dirty)
+        deficit = size - clean
+        if deficit <= 0:
+            return 1.0
+        if deficit > len(dirty):
+            # size exceeds the cluster: no partition exists at all.  Do not
+            # prune — the probe path reports infeasibility naturally.
+            return 1.0
+        dirty.sort(key=lambda d: (d[0], d[1]))
+        reachable = dirty[: len(dirty) - deficit + 1]
+        return 1.0 - min(d[2] for d in reachable)

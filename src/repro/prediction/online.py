@@ -134,6 +134,15 @@ class OnlinePredictor(Predictor):
     # ------------------------------------------------------------------
     # Predictor interface
     # ------------------------------------------------------------------
+    def node_failure_term(self, node: int, start: float, end: float) -> float:
+        """The raw per-node hazard (this predictor *is* survival-
+        decomposable: ``failure_probability`` combines exactly these terms
+        independently, so the fast path's cached reconstruction is
+        bit-identical to the probe path)."""
+        if end <= start:
+            return 0.0
+        return self.node_hazard(node, start, end - start)
+
     def failure_probability(
         self, nodes: Iterable[int], start: float, end: float
     ) -> float:

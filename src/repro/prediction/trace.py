@@ -58,6 +58,7 @@ class TracePredictor(Predictor):
             event.event_id: stable_uniform(f"detectability:{event.event_id}", seed)
             for event in trace
         }
+        self._index: Optional["FailureIntervalIndex"] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -133,6 +134,35 @@ class TracePredictor(Predictor):
                 )
         return None
 
+    def interval_index(self) -> "FailureIntervalIndex":
+        """This predictor's :class:`FailureIntervalIndex`, built lazily.
+
+        The index is a pure function of (trace, detectability, accuracy),
+        all immutable here, so one build serves the predictor's lifetime;
+        :meth:`with_accuracy` clones re-filter at their own accuracy.
+        """
+        if self._index is None:
+            from repro.prediction.index import FailureIntervalIndex
+
+            self._index = FailureIntervalIndex(
+                self._trace, self._detectability, self._accuracy
+            )
+        return self._index
+
+    def node_failure_term(self, node: int, start: float, end: float) -> float:
+        """Per-node term (``p_x`` of the node's first detectable failure).
+
+        Note the trace predictor is *not* survival-decomposable — the
+        set-level ``p_f`` is the first-failure detectability, not an
+        independent combination — so the fast path uses
+        :meth:`interval_index` for set queries and these terms only for
+        placement scoring, where they match
+        :meth:`node_failure_probability` exactly.
+        """
+        if end <= start:
+            return 0.0
+        return self.interval_index().node_term(node, start, end)
+
     def with_accuracy(self, accuracy: float) -> "TracePredictor":
         """A predictor over the same trace and detectabilities at another
         accuracy (the cheap way to sweep ``a``)."""
@@ -143,4 +173,5 @@ class TracePredictor(Predictor):
             raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
         clone._seed = self._seed
         clone._detectability = self._detectability
+        clone._index = None
         return clone

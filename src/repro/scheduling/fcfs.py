@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 
 from repro.cluster.reservations import NodeScorer, ReservationLedger
 from repro.cluster.topology import Topology
+from repro.core.fastpath import AnalyticalEvaluator
 from repro.core.negotiation import NegotiationOutcome, Negotiator
 from repro.core.users import UserModel
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
@@ -60,6 +61,14 @@ class ConservativeBackfillScheduler:
         registry: Optional obs registry; when live, restart bookings and
             pull-forward attempts are counted under ``scheduling.fcfs.*``
             and the registry is forwarded to the negotiator.
+        negotiation_mode: Offer-pricing mode forwarded to the
+            :class:`~repro.core.negotiation.Negotiator` (one of
+            ``probe`` / ``analytical`` / ``oracle``).
+        failure_jump_epsilon: Seconds the dialogue advances past a
+            predicted failure; forwarded to the negotiator.
+        evaluator: Shared analytical evaluator (the system passes the same
+            instance it scores placement with, so one term cache serves
+            both); forwarded to the negotiator.
     """
 
     def __init__(
@@ -70,6 +79,9 @@ class ConservativeBackfillScheduler:
         scorer: Optional[NodeScorer],
         max_offers: int = 400,
         registry: Optional[MetricsRegistry] = None,
+        negotiation_mode: str = "analytical",
+        failure_jump_epsilon: float = 1.0,
+        evaluator: Optional[AnalyticalEvaluator] = None,
     ) -> None:
         self._ledger = ledger
         self._topology = topology
@@ -78,7 +90,8 @@ class ConservativeBackfillScheduler:
         registry = registry if registry is not None else NULL_REGISTRY
         self.negotiator = Negotiator(
             ledger, topology, predictor, scorer, max_offers=max_offers,
-            registry=registry,
+            registry=registry, mode=negotiation_mode,
+            failure_jump_epsilon=failure_jump_epsilon, evaluator=evaluator,
         )
         self._obs = registry.enabled
         self._c_restarts = registry.counter("scheduling.fcfs.restarts_booked")

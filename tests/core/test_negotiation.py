@@ -15,7 +15,9 @@ from repro.scheduling.placement import fault_aware_scorer
 HOUR = 3600.0
 
 
-def make_negotiator(node_count=8, failures=None, accuracy=1.0, max_offers=400):
+def make_negotiator(
+    node_count=8, failures=None, accuracy=1.0, max_offers=400, mode="analytical"
+):
     ledger = ReservationLedger(node_count)
     trace = failures if failures is not None else FailureTrace([])
     predictor = TracePredictor(trace, accuracy=accuracy, seed=1)
@@ -25,6 +27,7 @@ def make_negotiator(node_count=8, failures=None, accuracy=1.0, max_offers=400):
         predictor,
         fault_aware_scorer(predictor),
         max_offers=max_offers,
+        mode=mode,
     )
     return negotiator, ledger, predictor
 
@@ -85,14 +88,22 @@ class TestDialogue:
         assert not outcome.forced
         assert ledger.get(1) is not None
 
-    def test_cautious_user_jumps_past_the_failure(self):
-        negotiator, _, _ = make_negotiator(failures=all_nodes_fail_at(HOUR))
+    @pytest.mark.parametrize("mode", ["probe", "analytical", "oracle"])
+    def test_cautious_user_jumps_past_the_failure(self, mode):
+        negotiator, _, _ = make_negotiator(
+            failures=all_nodes_fail_at(HOUR), mode=mode
+        )
         outcome = negotiator.negotiate(
             1, size=8, duration=2 * HOUR, now=0.0, user=RiskThresholdUser(0.99)
         )
         assert outcome.start > HOUR
         assert outcome.guarantee.probability >= 0.99
-        assert outcome.guarantee.offers_declined >= 1
+        if mode == "analytical":
+            # The declined offer is provably below threshold, so pruning
+            # skips it: nothing was laid on the table before the accept.
+            assert outcome.guarantee.offers_declined == 0
+        else:
+            assert outcome.guarantee.offers_declined >= 1
 
     def test_deadline_is_start_plus_duration(self):
         negotiator, _, _ = make_negotiator()
@@ -139,17 +150,23 @@ class TestDialogue:
 
 
 class TestSuggestDeadline:
-    def test_suggests_earliest_hitting_target(self):
-        negotiator, ledger, _ = make_negotiator(failures=all_nodes_fail_at(HOUR))
-        offer = negotiator.suggest_deadline(
+    @pytest.mark.parametrize("mode", ["probe", "analytical"])
+    def test_suggests_earliest_hitting_target(self, mode):
+        negotiator, ledger, _ = make_negotiator(
+            failures=all_nodes_fail_at(HOUR), mode=mode
+        )
+        result = negotiator.suggest_deadline(
             size=8, duration=2 * HOUR, now=0.0, target_probability=0.99
         )
-        assert offer.start > HOUR
-        assert offer.probability >= 0.99
+        assert result.found
+        assert result.status == "found"
+        assert result.offer.start > HOUR
+        assert result.offer.probability >= 0.99
         # Advisory only: nothing booked.
         assert len(ledger) == 0
 
-    def test_unreachable_target_returns_none(self):
+    @pytest.mark.parametrize("mode", ["probe", "analytical"])
+    def test_unreachable_target_reports_cap(self, mode):
         failures = FailureTrace(
             [
                 FailureEvent(event_id=i + 1, time=i * 100.0, node=i % 4)
@@ -157,9 +174,21 @@ class TestSuggestDeadline:
             ]
         )
         negotiator, _, _ = make_negotiator(
-            node_count=4, failures=failures, max_offers=5
+            node_count=4, failures=failures, max_offers=5, mode=mode
         )
-        assert (
-            negotiator.suggest_deadline(4, 50 * HOUR, 0.0, target_probability=1.0)
-            is None
+        result = negotiator.suggest_deadline(
+            4, 50 * HOUR, 0.0, target_probability=1.0
         )
+        assert result.offer is None
+        assert not result.found
+        assert result.status == "cap_reached"
+        assert result.offers_examined >= 5
+
+    @pytest.mark.parametrize("mode", ["probe", "analytical"])
+    def test_oversized_job_reports_infeasible(self, mode):
+        negotiator, _, _ = make_negotiator(node_count=4, mode=mode)
+        result = negotiator.suggest_deadline(
+            5, HOUR, 0.0, target_probability=0.5
+        )
+        assert result.offer is None
+        assert result.status == "infeasible"

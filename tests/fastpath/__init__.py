@@ -1,0 +1,1 @@
+"""Tests for the analytical negotiation fast path (repro.core.fastpath)."""

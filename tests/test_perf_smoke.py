@@ -40,7 +40,7 @@ def test_perf_harness_smoke(tmp_path):
     assert result.returncode == 0, result.stderr
 
     report = json.loads(out.read_text())
-    assert report["schema"] == 3
+    assert report["schema"] == 4
     assert report["preset"] == "smoke"
     scenarios = report["scenarios"]
     for name in ("find_slot_deep_queue", "negotiation_dialogue"):
@@ -69,4 +69,29 @@ def test_perf_harness_smoke(tmp_path):
     # every grid point must be accounted for.
     assert grid["obs"]["core.system.jobs_completed"] == (
         grid["params"]["grid_jobs"] * grid["params"]["points"]
+    )
+
+    # Schema 4: the negotiation fast-path scenario.  The ≥10x gates are
+    # count-based (probes and predictor queries, not wall time), so they
+    # are deterministic for the fixed seed and immune to CI noise.
+    fastpath = scenarios["negotiation_fastpath"]
+    assert fastpath["bookings_identical"]
+    assert fastpath["oracle_agrees"]
+    assert fastpath["probe_reduction"] >= 10.0, (
+        f"analytical mode no longer kills the probe loop: "
+        f"{fastpath['probes_per_dialogue']} "
+        f"({fastpath['probe_reduction']:.1f}x)"
+    )
+    assert fastpath["query_reduction"] >= 10.0, (
+        f"analytical mode still hits the predictor: "
+        f"{fastpath['predictor_queries_per_dialogue']}"
+    )
+    assert fastpath["pruned"] > 0
+    assert fastpath["probe"]["median_s"] > 0
+    assert fastpath["analytical"]["median_s"] > 0
+    # Grid-level: the figure sweep must stop paying per-probe predictor
+    # queries in analytical (default) mode, with bit-identical metrics.
+    assert fastpath["grid"]["metrics_identical"]
+    assert fastpath["grid"]["query_reduction"] >= 10.0, (
+        f"figures-grid predictor queries: {fastpath['grid']['predictor_queries']}"
     )
