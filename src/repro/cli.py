@@ -17,6 +17,11 @@ Examples::
     probqos run --workload nasa --trace trace.jsonl
     probqos trace export trace.jsonl --format chrome --out trace.json
     probqos trace explain trace.jsonl --job 17
+    probqos trace explain trace.jsonl --job 17 --format json
+    probqos run --workload nasa --audit audit.json
+    probqos audit trace.jsonl
+    probqos audit trace.jsonl --format json --out audit.json
+    probqos audit audit.json --diagram-csv reliability.csv
     probqos lint src tests
     probqos lint --format json --select QOS101,QOS102 src
 
@@ -59,6 +64,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_env_args(fig)
     _add_obs_args(fig)
     _add_trace_args(fig)
+    _add_audit_args(fig)
     _add_parallel_args(fig)
 
     tab = sub.add_parser("table", help="regenerate a paper table (1-2)")
@@ -66,6 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_env_args(tab)
     _add_obs_args(tab)
     _add_trace_args(tab)
+    _add_audit_args(tab)
     _add_parallel_args(tab)
 
     run = sub.add_parser("run", help="simulate one (a, U) point")
@@ -78,6 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_env_args(run)
     _add_obs_args(run)
     _add_trace_args(run)
+    _add_audit_args(run)
     run.add_argument(
         "--obs-interval",
         type=float,
@@ -124,6 +132,79 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_explain.add_argument("path", help="JSONL trace written by --trace PATH")
     trace_explain.add_argument(
         "--job", type=int, required=True, metavar="N", help="job id to explain"
+    )
+    trace_explain.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="explain_format",
+        help="audit-trail format: human narrative or machine-readable JSON "
+        "with the same verdict/margin fields the audit layer computes",
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help="promise-vs-outcome calibration & SLO audit of a JSONL trace "
+        "(or re-render a saved audit report)",
+    )
+    audit.add_argument(
+        "path",
+        help="JSONL trace written by --trace PATH, or an audit report "
+        "written by --audit PATH / --out PATH",
+    )
+    audit.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="audit_format",
+        help="report format (default: text)",
+    )
+    audit.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON audit report to PATH",
+    )
+    audit.add_argument(
+        "--diagram-csv",
+        default=None,
+        metavar="PATH",
+        dest="diagram_csv",
+        help="write the reliability diagram as CSV to PATH",
+    )
+    audit.add_argument(
+        "--bins",
+        type=int,
+        default=10,
+        metavar="N",
+        help="reliability-diagram bins over [0,1] (trace input only; "
+        "default 10)",
+    )
+    audit.add_argument(
+        "--node-block",
+        type=int,
+        default=32,
+        metavar="N",
+        dest="node_block",
+        help="partition-rollup node-block width (trace input only; "
+        "default 32)",
+    )
+    audit.add_argument(
+        "--max-breach-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        dest="max_breach_rate",
+        help="per-rollup-key SLO: breach rates above RATE mark the run "
+        "DEGRADED (trace input only; default: disabled)",
+    )
+    audit.add_argument(
+        "--fail-on",
+        choices=["degraded", "violated"],
+        default=None,
+        dest="fail_on",
+        help="exit 1 when the run status reaches this severity "
+        "(default: always exit 0)",
     )
 
     head = sub.add_parser("headline", help="no-prediction vs perfect endpoints")
@@ -273,6 +354,17 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_audit_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--audit",
+        metavar="PATH",
+        default=None,
+        help="audit every promise against its outcome and write the "
+        "calibration/SLO report (JSON) to PATH; render with "
+        "'probqos audit PATH'",
+    )
+
+
 def _write_obs_report(args: argparse.Namespace, registry, sampler=None) -> None:
     from repro.obs.export import write_report
 
@@ -290,6 +382,25 @@ def _write_obs_report(args: argparse.Namespace, registry, sampler=None) -> None:
         f"\nobservability report written to {args.obs}: "
         f"{len(report['metric_names'])} metrics across "
         f"{len(report['layers'])} layers"
+    )
+
+
+def _write_audit_report(args: argparse.Namespace, report) -> None:
+    meta = dict(report.meta)
+    meta["command"] = args.command
+    for key in ("workload", "job_count", "seed", "accuracy", "user_threshold", "number"):
+        if getattr(args, key, None) is not None:
+            meta[key] = getattr(args, key)
+    import dataclasses
+
+    report = dataclasses.replace(report, meta=meta)
+    with open(args.audit, "w") as fh:
+        fh.write(report.to_json())
+        fh.write("\n")
+    print(
+        f"\naudit report written to {args.audit}: status {report.status}, "
+        f"{report.total} promises (honoured {report.honoured}, broken "
+        f"{report.broken}); render with 'probqos audit {args.audit}'"
     )
 
 
@@ -324,17 +435,24 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     jobs = args.jobs
     cache = _point_cache(args)
     trace_stream = recorder = None
+    audit = None
+    if args.trace or args.audit:
+        # Recorders and audits cannot cross process boundaries and cache
+        # hits skip the simulations that would produce records/promises,
+        # so instrumented figures force the sequential uncached path.
+        if jobs != 1 or cache is not None:
+            flag = "--trace" if args.trace else "--audit"
+            print(f"{flag} forces --jobs 1 and ignores --cache-dir")
+            jobs, cache = 1, None
     if args.trace:
         from repro.analysis.tracelog import TraceRecorder
 
-        # Recorders cannot cross process boundaries and cache hits skip
-        # the simulations that would produce records, so tracing forces
-        # the sequential uncached path for this invocation.
-        if jobs != 1 or cache is not None:
-            print("--trace forces --jobs 1 and ignores --cache-dir")
-            jobs, cache = 1, None
         trace_stream = open(args.trace, "w")
         recorder = TraceRecorder(stream=trace_stream, keep_in_memory=False)
+    if args.audit:
+        from repro.obs.audit import GuaranteeAudit
+
+        audit = GuaranteeAudit()
     try:
         catalog = FigureCatalog()
         workloads = (
@@ -349,6 +467,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 jobs=jobs,
                 cache=cache,
                 recorder=recorder,
+                audit=audit,
             )
         print(format_figure(catalog.figure(args.number)))
     finally:
@@ -359,6 +478,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(
             f"\ntrace written to {args.trace} (all simulated points share "
             "the file); inspect with 'probqos trace export/explain'"
+        )
+    if audit is not None:
+        _write_audit_report(
+            args, audit.report(meta={"source": "figure", "figure": args.number})
         )
     if registry is not None:
         _write_obs_report(args, registry)
@@ -390,6 +513,13 @@ def _cmd_table(args: argparse.Namespace) -> int:
         with open(args.trace, "w"):
             pass
         print(f"trace written to {args.trace}: tables simulate nothing (0 records)")
+    if args.audit:
+        # Likewise: an empty (but valid, status OK) audit report.
+        from repro.obs.audit import GuaranteeAudit
+
+        _write_audit_report(
+            args, GuaranteeAudit().report(meta={"source": "table"})
+        )
     if args.obs:
         # Tables run no simulations; the report still round-trips so
         # batch pipelines can treat every subcommand uniformly.
@@ -403,8 +533,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ctx = ExperimentContext.prepare(_setup(args))
     registry = sampler = None
     spans = None
-    if args.obs or args.trace:
-        builder = trace_stream = None
+    audit_report = None
+    if args.obs or args.trace or args.audit:
+        builder = trace_stream = audit = None
         if args.obs:
             from repro.obs.registry import MetricsRegistry
 
@@ -414,6 +545,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             trace_stream = open(args.trace, "w")
             builder = SpanBuilder(stream=trace_stream)
+        if args.audit:
+            from repro.obs.audit import GuaranteeAudit
+
+            audit = GuaranteeAudit()
         interval = args.obs_interval if args.obs_interval is not None else 3600.0
         try:
             result, sampler = ctx.run_instrumented(
@@ -422,6 +557,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 registry,
                 sample_interval=interval if registry is not None else None,
                 recorder=builder,
+                audit=audit,
                 checkpoint_policy=args.policy,
                 placement=args.placement,
                 topology=args.topology,
@@ -433,6 +569,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 trace_stream.close()
         metrics = result.metrics
         spans = result.spans
+        audit_report = result.audit
     else:
         metrics = ctx.run_point(
             args.accuracy,
@@ -475,6 +612,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"'probqos trace export {args.trace}' or "
             f"'probqos trace explain {args.trace} --job N'"
         )
+    if audit_report is not None:
+        _write_audit_report(args, audit_report)
     if registry is not None:
         _write_obs_report(args, registry, sampler=sampler)
     return 0
@@ -648,7 +787,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     if args.trace_command == "explain":
         try:
-            print(explain_job(timeline, args.job))
+            if args.explain_format == "json":
+                from repro.obs.trace import explain_job_data
+
+                print(
+                    json.dumps(
+                        explain_job_data(timeline, args.job),
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
+            else:
+                print(explain_job(timeline, args.job))
         except KeyError:
             job_ids = timeline.job_ids()
             preview = ", ".join(str(j) for j in job_ids[:20])
@@ -661,6 +811,83 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             return 1
         return 0
     return 2
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.audit import (
+        AUDIT_STATUS_OK,
+        AUDIT_STATUS_VIOLATED,
+        AuditConfig,
+        AuditReport,
+        audit_from_records,
+        reliability_diagram_csv,
+        render_report,
+    )
+
+    # The input is either a saved AuditReport (one JSON object: re-render
+    # mode, binning flags ignored) or a JSONL guarantee trace (replay mode).
+    try:
+        with open(args.path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"cannot read audit input: {exc}", file=sys.stderr)
+        return 2
+    report = None
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict) and "schema" in doc:
+        try:
+            report = AuditReport.from_dict(doc)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"cannot parse audit report: {exc}", file=sys.stderr)
+            return 2
+    if report is None:
+        import io
+
+        from repro.analysis.tracelog import load_jsonl
+
+        try:
+            records = load_jsonl(io.StringIO(text))
+        except (ValueError, KeyError) as exc:
+            print(f"cannot parse trace: {exc}", file=sys.stderr)
+            return 2
+        try:
+            config = AuditConfig(
+                bin_count=args.bins,
+                node_block=args.node_block,
+                max_breach_rate=args.max_breach_rate,
+            )
+        except ValueError as exc:
+            print(f"invalid audit configuration: {exc}", file=sys.stderr)
+            return 2
+        report = audit_from_records(
+            records, config=config, meta={"source": args.path}
+        )
+
+    if args.audit_format == "json":
+        print(report.to_json())
+    else:
+        print(render_report(report))
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"audit report written to {args.out}")
+    if args.diagram_csv is not None:
+        with open(args.diagram_csv, "w") as fh:
+            fh.write(reliability_diagram_csv(report))
+        print(f"reliability diagram written to {args.diagram_csv}")
+    if args.fail_on == "degraded" and report.status != AUDIT_STATUS_OK:
+        print(f"audit status {report.status} (failing on degraded)", file=sys.stderr)
+        return 1
+    if args.fail_on == "violated" and report.status == AUDIT_STATUS_VIOLATED:
+        print(f"audit status {report.status} (failing on violated)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -706,6 +933,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "obs": _cmd_obs,
         "trace": _cmd_trace,
+        "audit": _cmd_audit,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -27,9 +27,10 @@ rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import JobOutcome
+from repro.obs.audit import CalibrationCurve
 
 
 @dataclass(frozen=True)
@@ -56,13 +57,20 @@ class CalibrationBucket:
         return self.mean_promised - self.keep_rate
 
 
-def _promised_and_kept(outcomes: Iterable[JobOutcome]) -> List[tuple]:
-    pairs = []
+def _promised_and_kept(outcomes: Iterable[JobOutcome]) -> List[Tuple[float, bool]]:
+    pairs: List[Tuple[float, bool]] = []
     for outcome in outcomes:
         if outcome.guarantee is None:
             continue
-        pairs.append((outcome.guarantee.probability, 1.0 if outcome.met_deadline else 0.0))
+        pairs.append((outcome.guarantee.probability, outcome.met_deadline))
     return pairs
+
+
+def _curve(outcomes: Iterable[JobOutcome], bucket_count: int) -> CalibrationCurve:
+    curve = CalibrationCurve(bucket_count)
+    for promised, kept in _promised_and_kept(outcomes):
+        curve.observe(promised, kept)
+    return curve
 
 
 def calibration_buckets(
@@ -70,35 +78,22 @@ def calibration_buckets(
 ) -> List[CalibrationBucket]:
     """Bucket promises by probability and compute per-bucket keep rates.
 
-    Empty buckets are omitted (a reliability diagram has nothing to plot
-    there).
+    The binning (and Brier scoring below) delegates to the shared
+    :class:`repro.obs.audit.CalibrationCurve` — the same implementation
+    behind ``probqos audit`` and predictor evaluation.  Empty buckets are
+    omitted (a reliability diagram has nothing to plot there).
     """
-    if bucket_count < 1:
-        raise ValueError(f"bucket_count must be >= 1, got {bucket_count}")
-    pairs = _promised_and_kept(outcomes)
-    width = 1.0 / bucket_count
-    buckets: List[CalibrationBucket] = []
-    for k in range(bucket_count):
-        low = k * width
-        high = (k + 1) * width
-        if k == bucket_count - 1:
-            members = [(p, q) for p, q in pairs if low <= p <= 1.0]
-        else:
-            members = [(p, q) for p, q in pairs if low <= p < high]
-        if not members:
-            continue
-        promised = [p for p, _ in members]
-        kept = [q for _, q in members]
-        buckets.append(
-            CalibrationBucket(
-                low=low,
-                high=high,
-                count=len(members),
-                mean_promised=sum(promised) / len(promised),
-                keep_rate=sum(kept) / len(kept),
-            )
+    return [
+        CalibrationBucket(
+            low=b.low,
+            high=b.high,
+            count=b.count,
+            mean_promised=b.mean_forecast,
+            keep_rate=b.success_rate,
         )
-    return buckets
+        for b in _curve(outcomes, bucket_count).bins()
+        if b.count > 0
+    ]
 
 
 def brier_score(outcomes: Iterable[JobOutcome]) -> Optional[float]:
@@ -106,10 +101,10 @@ def brier_score(outcomes: Iterable[JobOutcome]) -> Optional[float]:
 
     Returns None when no promises were recorded.
     """
-    pairs = _promised_and_kept(outcomes)
-    if not pairs:
+    curve = _curve(outcomes, bucket_count=1)
+    if curve.count == 0:
         return None
-    return sum((p - q) ** 2 for p, q in pairs) / len(pairs)
+    return curve.brier_sum / curve.count
 
 
 def calibration_gap(outcomes: Iterable[JobOutcome]) -> Optional[float]:

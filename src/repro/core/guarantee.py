@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.obs.audit import margin_honours, promise_margin
+
 
 @dataclass(frozen=True)
 class QoSGuarantee:
@@ -56,13 +58,22 @@ class QoSGuarantee:
         """Seconds between negotiation and the promised deadline."""
         return self.deadline - self.negotiated_at
 
+    def margin(self, finish_time: Optional[float]) -> Optional[float]:
+        """Signed slack against the deadline (positive = early).
+
+        ``None`` when the job never finished within the simulation.
+        """
+        return promise_margin(self.deadline, finish_time)
+
     def kept(self, finish_time: Optional[float]) -> bool:
         """Whether a finish at ``finish_time`` honours the promise.
 
         ``None`` (never finished within the simulation) is a broken
-        promise.
+        promise.  Delegates to the canonical epsilon comparison in
+        ``repro.obs.audit`` (``VERDICT_EPSILON``) — the same verdict the
+        trace layer and the audit layer compute.
         """
-        return finish_time is not None and finish_time <= self.deadline + 1e-6
+        return margin_honours(self.margin(finish_time))
 
 
 @dataclass(frozen=True)

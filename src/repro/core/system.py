@@ -38,6 +38,7 @@ from repro.core.metrics import MetricsCollector, SimulationMetrics
 from repro.core.negotiation import NEGOTIATION_MODES
 from repro.core.users import RiskThresholdUser, UserModel
 from repro.failures.events import FailureTrace
+from repro.obs.audit import NULL_AUDIT, AuditReport, GuaranteeAudit
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sampler import Sampler
 from repro.obs.trace import SpanBuilder, SpanTimeline
@@ -168,6 +169,9 @@ class SimulationResult:
         spans: Assembled :class:`~repro.obs.trace.SpanTimeline` when the
             system ran with a live :class:`~repro.obs.trace.SpanBuilder`;
             None otherwise.
+        audit: Promise-vs-outcome :class:`~repro.obs.audit.AuditReport`
+            when the system ran with a live
+            :class:`~repro.obs.audit.GuaranteeAudit`; None otherwise.
     """
 
     metrics: SimulationMetrics
@@ -176,6 +180,7 @@ class SimulationResult:
     events_processed: int
     obs: Optional[dict] = None
     spans: Optional[SpanTimeline] = None
+    audit: Optional[AuditReport] = None
 
 
 class ProbabilisticQoSSystem:
@@ -209,6 +214,11 @@ class ProbabilisticQoSSystem:
             (with a live registry) a :class:`~repro.obs.sampler.Sampler`
             records a time-series via recurring ``OBS_SAMPLE`` events,
             reachable afterwards as ``system.sampler``.
+        audit: Optional :class:`~repro.obs.audit.GuaranteeAudit` fed every
+            promise at negotiation time and every outcome at finish time;
+            defaults to the shared zero-cost :data:`~repro.obs.audit.NULL_AUDIT`
+            (one boolean test per promise/outcome).  A live audit's report
+            rides on :attr:`SimulationResult.audit`.
     """
 
     def __init__(
@@ -222,6 +232,7 @@ class ProbabilisticQoSSystem:
         registry: Optional[MetricsRegistry] = None,
         sample_interval: Optional[float] = None,
         spans: Optional[SpanBuilder] = None,
+        audit: Optional[GuaranteeAudit] = None,
     ) -> None:
         if spans is not None:
             if recorder is not None:
@@ -234,6 +245,8 @@ class ProbabilisticQoSSystem:
             registry if registry is not None else NULL_REGISTRY
         )
         self._obs = self.registry.enabled
+        self.audit: GuaranteeAudit = audit if audit is not None else NULL_AUDIT
+        self._audit_on = self.audit.enabled
         self.predictor: Predictor = (
             predictor
             if predictor is not None
@@ -376,6 +389,15 @@ class ProbabilisticQoSSystem:
                     "config": asdict(self.config),
                 },
             )
+        audit: Optional[AuditReport] = None
+        if self._audit_on:
+            audit = self.audit.report(
+                meta={
+                    "source": "live",
+                    "workload_jobs": len(self.workload),
+                    "events_processed": self.loop.processed_events,
+                }
+            )
         return SimulationResult(
             metrics=self.metrics.finalize(self.config.node_count),
             config=self.config,
@@ -383,6 +405,7 @@ class ProbabilisticQoSSystem:
             events_processed=self.loop.processed_events,
             obs=self.registry.snapshot() if self._obs else None,
             spans=spans,
+            audit=audit,
         )
 
     # ------------------------------------------------------------------
@@ -413,10 +436,20 @@ class ProbabilisticQoSSystem:
             planned_start=outcome.start,
             planned_nodes=list(outcome.nodes),
             size=job.size,
+            user_id=job.user_id,
             offers_made=outcome.offers_made,
             offers_declined=outcome.guarantee.offers_declined,
             forced=outcome.forced,
         )
+        if self._audit_on:
+            self.audit.observe_promise(
+                job_id=job.job_id,
+                probability=outcome.guarantee.probability,
+                deadline=outcome.guarantee.deadline,
+                size=job.size,
+                user_id=job.user_id,
+                nodes=outcome.nodes,
+            )
         state.start_event = self.loop.schedule(
             outcome.start, EventKind.START, job_id=job.job_id
         )
@@ -591,7 +624,10 @@ class ProbabilisticQoSSystem:
             deadline=guarantee.deadline if guarantee is not None else None,
             promised=guarantee.probability if guarantee is not None else None,
             met=guarantee.kept(now) if guarantee is not None else None,
+            margin=guarantee.margin(now) if guarantee is not None else None,
         )
+        if self._audit_on:
+            self.audit.observe_outcome(job_id=job_id, finish_time=now)
         self._after_capacity_freed(now)
 
     # ------------------------------------------------------------------
@@ -811,10 +847,12 @@ def simulate(
     registry: Optional[MetricsRegistry] = None,
     sample_interval: Optional[float] = None,
     recorder: Optional[TraceRecorder] = None,
+    audit: Optional[GuaranteeAudit] = None,
 ) -> SimulationResult:
     """One-call convenience: build the system and run it to completion."""
     system = ProbabilisticQoSSystem(
         config, workload, failures, predictor=predictor, user=user,
         registry=registry, sample_interval=sample_interval, recorder=recorder,
+        audit=audit,
     )
     return system.run()

@@ -20,6 +20,7 @@ from repro.experiments.cache import PointCache
 from repro.experiments.config import ExperimentSetup
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.sweeps import METRIC_EXTRACTORS
+from repro.obs.audit import AuditConfig, AuditReport, GuaranteeAudit, merge_reports
 
 #: Two-sided 95% t critical values, tabulated exactly for df = n - 1 <= 10
 #: (where the t correction is large and replication counts actually live).
@@ -185,6 +186,41 @@ class ReplicatedExperiment:
             self.run_point(a, user_threshold, **overrides)[metric]
             for a in accuracies
         ]
+
+    def _context(self, setup: ExperimentSetup) -> ExperimentContext:
+        context = self._contexts.get(setup)
+        if context is None:
+            context = ExperimentContext.prepare(setup)
+            self._contexts[setup] = context
+        return context
+
+    def audit_point(
+        self,
+        accuracy: float,
+        user_threshold: float,
+        audit_config: Optional[AuditConfig] = None,
+        **overrides,
+    ) -> AuditReport:
+        """Merged promise audit of one ``(a, U)`` point across all seeds.
+
+        Each seed runs instrumented (never memoised — a cached metrics
+        object carries no promises) with its own
+        :class:`~repro.obs.audit.GuaranteeAudit`; the per-seed
+        :class:`~repro.obs.audit.AuditReport` shards are folded with
+        :func:`~repro.obs.audit.merge_reports`, mirroring
+        ``MetricsRegistry.merge``.  Runs sequentially in-process: audits
+        do not cross process boundaries.
+        """
+        reports: List[AuditReport] = []
+        for setup in self._setups:
+            context = self._context(setup)
+            audit = GuaranteeAudit(audit_config)
+            result, _ = context.run_instrumented(
+                accuracy, user_threshold, audit=audit, **overrides
+            )
+            assert result.audit is not None  # live audit always reports
+            reports.append(result.audit)
+        return merge_reports(reports)
 
 
 def significant_improvement(

@@ -20,6 +20,7 @@ from repro.experiments.cache import PointCache
 from repro.experiments.config import ExperimentSetup
 from repro.failures.events import FailureTrace
 from repro.failures.generator import FailureModelSpec, generate_failure_trace
+from repro.obs.audit import GuaranteeAudit
 from repro.obs.registry import MetricsRegistry
 from repro.workload.job import JobLog
 from repro.workload.synthetic import log_by_name
@@ -70,6 +71,11 @@ class ExperimentContext:
             commands).  Memo/cache hits skip simulation and therefore
             contribute no records; recorders do not cross process
             boundaries, so callers should keep ``jobs=1`` when tracing.
+        audit: Optional :class:`~repro.obs.audit.GuaranteeAudit` threaded
+            into every simulation this context executes in-process
+            (``--audit`` on batch commands).  Same caveats as
+            ``recorder``: cache hits contribute no promises and audits do
+            not cross process boundaries — keep ``jobs=1`` when auditing.
     """
 
     setup: ExperimentSetup
@@ -80,6 +86,7 @@ class ExperimentContext:
     jobs: int = 1
     cache: Optional[PointCache] = None
     recorder: Optional[TraceRecorder] = None
+    audit: Optional[GuaranteeAudit] = None
 
     @classmethod
     def prepare(
@@ -91,6 +98,7 @@ class ExperimentContext:
         jobs: int = 1,
         cache: Optional[PointCache] = None,
         recorder: Optional[TraceRecorder] = None,
+        audit: Optional[GuaranteeAudit] = None,
     ) -> "ExperimentContext":
         """Build the context, synthesising whatever is not supplied.
 
@@ -111,7 +119,7 @@ class ExperimentContext:
             )
         return cls(
             setup=setup, log=log, failures=failures, registry=registry,
-            jobs=jobs, cache=cache, recorder=recorder,
+            jobs=jobs, cache=cache, recorder=recorder, audit=audit,
         )
 
     # ------------------------------------------------------------------
@@ -151,7 +159,7 @@ class ExperimentContext:
         config = self.config(accuracy, user_threshold, **overrides)
         result = simulate(
             config, self.log, self.failures, registry=self.registry,
-            recorder=self.recorder,
+            recorder=self.recorder, audit=self.audit,
         )
         self._cache[key] = result.metrics
         return result.metrics
@@ -214,6 +222,7 @@ class ExperimentContext:
         registry: Optional[MetricsRegistry] = None,
         sample_interval: Optional[float] = None,
         recorder: Optional[TraceRecorder] = None,
+        audit: Optional[GuaranteeAudit] = None,
         **overrides,
     ):
         """Simulate one point with live instrumentation (never memoised).
@@ -221,15 +230,15 @@ class ExperimentContext:
         Instrumented runs bypass the cache in both directions: a cached
         metrics object carries no counters or records, and the output of a
         fresh run must reflect exactly one simulation, not whichever point
-        happened to run first.  Either a metrics ``registry``, a trace
-        ``recorder`` (e.g. a :class:`~repro.obs.trace.SpanBuilder`), or
-        both may be attached.
+        happened to run first.  Any of a metrics ``registry``, a trace
+        ``recorder`` (e.g. a :class:`~repro.obs.trace.SpanBuilder`), or a
+        guarantee ``audit`` may be attached.
 
         Returns:
             ``(result, sampler)`` — the full :class:`SimulationResult`
-            (with ``.obs``/``.spans`` attached as applicable) and the
-            system's sampler (None unless ``sample_interval`` was given
-            with a live registry).
+            (with ``.obs``/``.spans``/``.audit`` attached as applicable)
+            and the system's sampler (None unless ``sample_interval`` was
+            given with a live registry).
         """
         from repro.core.system import ProbabilisticQoSSystem
 
@@ -237,7 +246,7 @@ class ExperimentContext:
         system = ProbabilisticQoSSystem(
             config, self.log, self.failures,
             registry=registry, sample_interval=sample_interval,
-            recorder=recorder,
+            recorder=recorder, audit=audit,
         )
         return system.run(), system.sampler
 

@@ -1,14 +1,42 @@
-"""Observability: counters, histograms, and sim-time sampling.
+"""Observability: counters, histograms, sim-time sampling, spans, audits.
 
 The instrumentation substrate for the whole control system.  Every layer
 (engine, ledger, schedulers, negotiation, checkpointing, prediction)
 accepts a :class:`MetricsRegistry` and records its decision points into
 named metrics following ``<layer>.<component>.<name>``; the default
 :class:`NullRegistry` makes all of it free for uninstrumented sweeps.
-See DESIGN.md "Observability" for the naming scheme and the overhead
-budget.
+``repro.obs.trace`` assembles causal per-job spans, and
+``repro.obs.audit`` folds promise/outcome pairs into calibration & SLO
+audit reports.  See DESIGN.md "Observability" for the naming scheme and
+the overhead budget.
 """
 
+from repro.obs.audit import (
+    AUDIT_DIMENSIONS,
+    AUDIT_SCHEMA_VERSION,
+    AUDIT_STATUSES,
+    NULL_AUDIT,
+    VERDICT_EPSILON,
+    AuditConfig,
+    AuditReport,
+    CalibrationCurve,
+    CalibrationSummary,
+    GuaranteeAudit,
+    NullAudit,
+    ReliabilityBin,
+    RollupStat,
+    audit_from_records,
+    breach_excess_pvalue,
+    margin_honours,
+    merge_reports,
+    poisson_tail,
+    promise_margin,
+    reliability_diagram_csv,
+    reliability_diagram_text,
+    render_report,
+    validate_audit_report,
+    wilson_interval,
+)
 from repro.obs.export import (
     OBS_SCHEMA_VERSION,
     build_report,
@@ -34,6 +62,7 @@ from repro.obs.trace import (
     SpanBuilder,
     SpanTimeline,
     explain_job,
+    explain_job_data,
     summarize_timeline,
     timeline_from_records,
     to_chrome_trace,
@@ -47,10 +76,35 @@ __all__ = [
     "SpanBuilder",
     "SpanTimeline",
     "explain_job",
+    "explain_job_data",
     "summarize_timeline",
     "timeline_from_records",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "AUDIT_DIMENSIONS",
+    "AUDIT_SCHEMA_VERSION",
+    "AUDIT_STATUSES",
+    "NULL_AUDIT",
+    "VERDICT_EPSILON",
+    "AuditConfig",
+    "AuditReport",
+    "CalibrationCurve",
+    "CalibrationSummary",
+    "GuaranteeAudit",
+    "NullAudit",
+    "ReliabilityBin",
+    "RollupStat",
+    "audit_from_records",
+    "breach_excess_pvalue",
+    "margin_honours",
+    "merge_reports",
+    "poisson_tail",
+    "promise_margin",
+    "reliability_diagram_csv",
+    "reliability_diagram_text",
+    "render_report",
+    "validate_audit_report",
+    "wilson_interval",
     "OBS_SCHEMA_VERSION",
     "build_report",
     "load_report",

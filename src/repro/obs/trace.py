@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from repro.analysis.tracelog import TraceRecord, TraceRecorder
+from repro.obs.audit import margin_honours, promise_margin
 
 #: Version stamp embedded in timeline metadata and Chrome exports.
 SPAN_SCHEMA_VERSION = 1
@@ -699,37 +700,122 @@ def explain_job(timeline: SpanTimeline, job_id: int) -> str:
         for line in chunk:
             lines.append("  " + line)
 
-    # Verdict.
+    # Verdict: recomputed from (deadline, finish) via the canonical
+    # epsilon comparison shared with QoSGuarantee.kept and the audit
+    # layer, never read from the recorded ``met`` flag when a deadline is
+    # on record.  The margin is always reported signed (positive =
+    # finished early), matching the audit layer's convention.
     finish = next((m for m in marks if m.name == "finish"), None)
     promised = negotiated.attrs if negotiated is not None else {}
     deadline = promised.get("deadline")
+    if deadline is None and finish is not None:
+        deadline = finish.attrs.get("deadline")
     if finish is not None:
-        met = finish.attrs.get("met")
-        if met is None and deadline is not None:
-            met = finish.time <= float(deadline) + 1e-6
         when = f"finished at t={_fmt(finish.time, 0)}"
-        if met is True:
-            margin = (
-                f" ({_fmt(float(deadline) - finish.time, 0)} s early)"
-                if deadline is not None
-                else ""
+        if deadline is not None:
+            margin = promise_margin(float(deadline), finish.time)
+            verdict = "HONOURED" if margin_honours(margin) else "BROKEN"
+            assert margin is not None  # finish.time is never None here
+            lines.append(
+                f"Verdict: {when} — guarantee {verdict} (margin {margin:+.0f} s)"
             )
-            lines.append(f"Verdict: {when} — guarantee HONOURED{margin}")
-        elif met is False:
-            over = (
-                f" ({_fmt(finish.time - float(deadline), 0)} s late)"
-                if deadline is not None
-                else ""
-            )
-            lines.append(f"Verdict: {when} — guarantee BROKEN{over}")
         else:
-            lines.append(f"Verdict: {when} — no deadline on record")
+            met = finish.attrs.get("met")
+            if met is True:
+                lines.append(f"Verdict: {when} — guarantee HONOURED")
+            elif met is False:
+                lines.append(f"Verdict: {when} — guarantee BROKEN")
+            else:
+                lines.append(f"Verdict: {when} — no deadline on record")
     else:
         lines.append(
             "Verdict: never finished within the trace — guarantee BROKEN "
             "(an unfinished promise scores zero)"
         )
     return "\n".join(lines)
+
+
+def explain_job_data(timeline: SpanTimeline, job_id: int) -> Dict[str, Any]:
+    """Machine-readable form of :func:`explain_job`'s audit trail.
+
+    Emits the same verdict/margin fields the audit layer computes (shared
+    epsilon comparison, signed margin with positive = early), plus the
+    promise context and lifecycle counters.  Raises ``KeyError`` if the
+    timeline has no trace of the job.
+    """
+    spans, marks = timeline.for_job(job_id)
+    if not spans and not marks:
+        raise KeyError(f"no spans or marks for job {job_id} in this timeline")
+
+    negotiated = next((m for m in marks if m.name == "negotiated"), None)
+    finish = next((m for m in marks if m.name == "finish"), None)
+
+    promise: Optional[Dict[str, Any]] = None
+    if negotiated is not None:
+        a = negotiated.attrs
+        promise = {
+            "negotiated_at": negotiated.time,
+            "probability": a.get("probability"),
+            "deadline": a.get("deadline"),
+            "predicted_pf": a.get("predicted_pf"),
+            "user_threshold": a.get("user_threshold"),
+            "user_id": a.get("user_id"),
+            "size": a.get("size"),
+            "planned_start": a.get("planned_start"),
+            "planned_nodes": list(a.get("planned_nodes") or []),
+            "offers_declined": a.get("offers_declined"),
+            "forced": bool(a.get("forced", False)),
+        }
+
+    deadline: Optional[float] = None
+    if promise is not None and promise["deadline"] is not None:
+        deadline = float(promise["deadline"])
+    elif finish is not None and finish.attrs.get("deadline") is not None:
+        deadline = float(finish.attrs["deadline"])
+
+    finish_time = finish.time if finish is not None else None
+    margin = promise_margin(deadline, finish_time) if deadline is not None else None
+    if deadline is not None:
+        verdict = "HONOURED" if margin_honours(margin) else "BROKEN"
+    elif finish is not None:
+        met = finish.attrs.get("met")
+        if met is True:
+            verdict = "HONOURED"
+        elif met is False:
+            verdict = "BROKEN"
+        else:
+            verdict = "UNKNOWN"
+    else:
+        verdict = "UNKNOWN"
+
+    kills = [m for m in marks if m.name == "killed"]
+    lost = 0.0
+    for m in kills:
+        value = m.attrs.get("lost_node_seconds")
+        if value is not None:
+            lost += float(value)
+    queued_seconds = 0.0
+    for s in spans:
+        if s.name == "queued" and s.duration is not None:
+            queued_seconds += s.duration
+
+    return {
+        "job_id": job_id,
+        "promise": promise,
+        "deadline": deadline,
+        "finish_time": finish_time,
+        "margin": margin,
+        "verdict": verdict,
+        "attempts": sum(1 for s in spans if s.name == "running"),
+        "queued_seconds": queued_seconds,
+        "checkpoints": {
+            "performed": sum(1 for s in spans if s.name == "checkpoint"),
+            "skipped": sum(1 for m in marks if m.name == "checkpoint_skipped"),
+        },
+        "kills": len(kills),
+        "evacuations": sum(1 for m in marks if m.name == "evacuated"),
+        "lost_node_seconds": lost,
+    }
 
 
 def summarize_timeline(timeline: SpanTimeline) -> str:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Set
 
 from repro.failures.events import FailureTrace
+from repro.obs.audit import CalibrationCurve, CalibrationSummary
 from repro.prediction.base import Predictor
 
 
@@ -32,8 +33,11 @@ class PredictionQuality:
         false_alarms: Alarms not matching any failure in the probe window.
         recall: detected / failures (1.0 when failures == 0).
         precision: (alarms - false_alarms) / alarms (1.0 when alarms == 0).
-        mean_probability: Mean disclosed probability over detecting alarms,
-            a crude calibration signal.
+        calibration: Binned calibration of every alarm's disclosed
+            probability against whether the alarm was correct — the same
+            :class:`~repro.obs.audit.CalibrationSummary` math (reliability
+            bins with Wilson intervals, Brier decomposition, log loss) the
+            guarantee audit layer uses.
     """
 
     failures: int
@@ -42,7 +46,12 @@ class PredictionQuality:
     false_alarms: int
     recall: float
     precision: float
-    mean_probability: float
+    calibration: CalibrationSummary
+
+    @property
+    def mean_probability(self) -> float:
+        """Mean disclosed probability over scored alarms (back-compat)."""
+        return self.calibration.mean_forecast
 
 
 def evaluate_predictor(
@@ -75,7 +84,9 @@ def evaluate_predictor(
             subsampled evenly).
     """
     if len(truth) == 0:
-        return PredictionQuality(0, 0, 0, 0, 1.0, 1.0, 0.0)
+        return PredictionQuality(
+            0, 0, 0, 0, 1.0, 1.0, CalibrationCurve().summary()
+        )
     step = probe_step if probe_step is not None else horizon
     if step <= 0:
         raise ValueError(f"probe_step must be > 0, got {step}")
@@ -89,8 +100,9 @@ def evaluate_predictor(
     detected_ids: Set[int] = set()
     alarms = 0
     false_alarms = 0
-    probability_sum = 0.0
-    probability_count = 0
+    # Every alarm's disclosed probability is scored against whether the
+    # alarm came true — the shared audit-layer calibration math.
+    curve = CalibrationCurve()
 
     for k in range(0, probe_count, stride):
         t = start + k * step
@@ -112,10 +124,9 @@ def evaluate_predictor(
             if matches:
                 for event in matches:
                     detected_ids.add(event.event_id)
-                probability_sum += alarm.probability
-                probability_count += 1
             else:
                 false_alarms += 1
+            curve.observe(min(max(alarm.probability, 0.0), 1.0), bool(matches))
 
     failures = len(truth)
     detected = len(detected_ids)
@@ -126,9 +137,7 @@ def evaluate_predictor(
         false_alarms=false_alarms,
         recall=detected / failures,
         precision=(alarms - false_alarms) / alarms if alarms else 1.0,
-        mean_probability=(
-            probability_sum / probability_count if probability_count else 0.0
-        ),
+        calibration=curve.summary(),
     )
 
 

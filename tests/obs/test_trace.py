@@ -406,7 +406,7 @@ class TestExplainJob:
         assert text.index("KILLED") < text.index("requeued (")
 
     def test_verdict_honoured_with_margin(self):
-        assert "guarantee HONOURED (100 s early)" in self.audit()
+        assert "guarantee HONOURED (margin +100 s)" in self.audit()
 
     def test_verdict_broken_when_never_finished(self):
         builder = SpanBuilder(keep_in_memory=True)

@@ -85,6 +85,33 @@ class TestEvaluatePredictor:
             evaluate_predictor(NullPredictor(), trace, nodes=8, probe_step=0.0)
 
 
+class TestAlarmCalibration:
+    def test_oracle_alarms_are_perfectly_calibrated(self, trace):
+        quality = evaluate_predictor(OraclePredictor(trace), trace, nodes=64)
+        s = quality.calibration
+        assert s.count == quality.alarms
+        assert s.successes == quality.alarms  # every p=1 alarm came true
+        assert s.brier == 0.0
+        assert s.expected_calibration_error == 0.0
+        assert quality.mean_probability == 1.0  # back-compat property
+
+    def test_noisy_alarms_land_in_an_overconfident_bin(self, trace):
+        quality = evaluate_predictor(NoisyPredictor(), trace, nodes=64)
+        s = quality.calibration
+        # Alarms at p=0.9 that almost never come true: the mean forecast
+        # must sit far above the bin's empirical success rate.
+        bin9 = next(b for b in s.bins if b.count > 0)
+        assert bin9.low == pytest.approx(0.9)
+        assert bin9.mean_forecast > bin9.success_rate
+        assert s.brier > 0.5
+        assert quality.mean_probability == pytest.approx(0.9)
+
+    def test_empty_truth_has_an_empty_calibration(self):
+        quality = evaluate_predictor(NullPredictor(), FailureTrace([]), nodes=8)
+        assert quality.calibration.count == 0
+        assert quality.mean_probability == 0.0
+
+
 class TestRecallByLead:
     def test_trace_predictor_is_lead_invariant(self, trace):
         predictor = TracePredictor(trace, accuracy=1.0, seed=1)
