@@ -28,6 +28,13 @@ evaluation pipeline:
   wall time, plus a grid-level ``prediction.trace.queries`` comparison on
   the ``figures_grid`` points.  The ≥10× probe/query reduction gates in
   ``tests/test_perf_smoke.py`` apply here (count-based, so CI-noise-proof).
+* ``scale`` — streamed big-cluster replays (1k/10k/100k nodes) through
+  ``benchmarks/perf/scale_bench.py``, one subprocess per configuration so
+  peak RSS is attributable.  Records events/sec per (node count, ledger
+  implementation, event-loop backend), asserts trajectory-checksum
+  identity across all configurations at each node count, reports the
+  current-vs-seed throughput ratio the ≥10× acceptance gate applies to,
+  and carries the ``reserve`` list-vs-NodeSet normalisation micro-bench.
 
 The first three scenarios run on the optimised
 :class:`~repro.cluster.reservations.ReservationLedger` *and* on the frozen
@@ -48,11 +55,16 @@ import os
 import random
 import shutil
 import statistics
+import subprocess
+import sys
 import tempfile
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+import repro
 import repro.cluster.machine as machine_module
+from repro.cluster.nodeset import NodeSet
 from repro.cluster.reference import SeedReservationLedger
 from repro.cluster.reservations import ReservationLedger
 from repro.cluster.topology import FlatTopology
@@ -77,11 +89,17 @@ PRESETS: Dict[str, Dict] = {
         nodes=128, bookings=400, queries=150, dialogue_jobs=60, nasa_jobs=250,
         grid_jobs=150, grid_accuracies=11, grid_users=(0.1, 0.9), pool_jobs=4,
         fastpath_jobs=40,
+        scale_node_counts=(1_000, 10_000, 100_000),
+        scale_seed_node_counts=(1_000, 10_000),
+        scale_jobs=2_000, scale_reserve_ops=2_000,
     ),
     "smoke": dict(
         nodes=32, bookings=40, queries=15, dialogue_jobs=8, nasa_jobs=0,
         grid_jobs=50, grid_accuracies=3, grid_users=(0.9,), pool_jobs=2,
         fastpath_jobs=12,
+        scale_node_counts=(1_000,),
+        scale_seed_node_counts=(1_000,),
+        scale_jobs=200, scale_reserve_ops=200,
     ),
 }
 
@@ -95,7 +113,11 @@ PRESETS: Dict[str, Dict] = {
 #: ``negotiation_fastpath`` scenario (probe vs analytical vs oracle mode:
 #: probes/queries per dialogue, ``probe_reduction``/``query_reduction``
 #: ratios, and a grid-level predictor-query comparison under ``grid``).
-SCHEMA_VERSION = 4
+#: Schema 5 added the ``scale`` scenario: big-cluster streaming replays in
+#: per-config subprocesses (events/sec, isolated peak RSS, trajectory
+#: checksums across ledger implementations and event-loop backends) plus
+#: the ``reserve`` normalisation micro-benchmark (list vs NodeSet input).
+SCHEMA_VERSION = 5
 
 
 # ----------------------------------------------------------------------
@@ -579,6 +601,182 @@ def bench_negotiation_fastpath(params: Dict, seed: int, repeats: int) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Scale scenario (big-cluster replays in per-config subprocesses)
+# ----------------------------------------------------------------------
+def _run_scale_subprocess(
+    nodes: int, jobs: int, impl: str, event_loop: str, seed: int
+) -> Dict:
+    """One ``scale_bench.py`` replay in a fresh interpreter.
+
+    A subprocess per configuration is what makes the reported peak RSS
+    attributable: ``ru_maxrss`` is a whole-process high-water mark, so
+    sharing a process across configurations would smear the largest
+    configuration's footprint over all of them.
+    """
+    script = Path(__file__).resolve().parent / "scale_bench.py"
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(script),
+            "--nodes", str(nodes),
+            "--jobs", str(jobs),
+            "--impl", impl,
+            "--event-loop", event_loop,
+            "--seed", str(seed),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def bench_reserve_normalization(
+    nodes: int, ops: int, seed: int, repeats: int
+) -> Dict:
+    """``reserve`` with pre-normalised NodeSets vs plain (shuffled) lists.
+
+    Times only the reserve loop — the ledger is rebuilt fresh per sample —
+    so the reported difference is the ``tuple(sorted(set(...)))``
+    normalisation the NodeSet fast path skips.  ``allow_overlap`` keeps
+    the bookings legal without free-window validation muddying the signal.
+    """
+    rng = random.Random(seed + 4)
+    max_width = max(16, nodes // 64)
+    as_lists: List[List[int]] = []
+    as_sets: List[NodeSet] = []
+    for _ in range(ops):
+        width = rng.randint(8, max_width)
+        base = rng.randint(0, nodes - width)
+        members = list(range(base, base + width))
+        shuffled = members[:]
+        rng.shuffle(shuffled)
+        as_lists.append(shuffled)
+        as_sets.append(NodeSet.interval(base, base + width))
+
+    def reserve_pass(variants) -> float:
+        ledger = ReservationLedger(nodes)
+        t0 = time.perf_counter()
+        for job_id, part in enumerate(variants, start=1):
+            ledger.reserve(job_id, part, 0.0, 3600.0, allow_overlap=True)
+        return time.perf_counter() - t0
+
+    list_samples = [reserve_pass(as_lists) for _ in range(repeats)]
+    set_samples = [reserve_pass(as_sets) for _ in range(repeats)]
+    list_med = statistics.median(list_samples)
+    set_med = statistics.median(set_samples)
+    return {
+        "nodes": nodes,
+        "ops": ops,
+        "list": _entry(list_samples),
+        "nodeset": _entry(set_samples),
+        "speedup": list_med / set_med if set_med > 0 else float("inf"),
+    }
+
+
+def bench_scale(params: Dict, seed: int, repeats: int) -> Dict:
+    """Streaming replays at 1k/10k/100k nodes: throughput, RSS, identity.
+
+    Each configuration — (node count, ledger implementation, event-loop
+    backend) — replays the same streamed synthetic arrival process in its
+    own subprocess.  The trajectory checksums must agree across every
+    configuration at a given node count (the optimised substrate changes
+    nothing but speed); events/sec medians feed the ≥10× acceptance gate
+    against the seed ledger, and per-config peak RSS shows the footprint
+    staying sub-linear in cluster width.  Replays are capped at
+    ``min(repeats, 3)`` samples: the seed ledger's quadratic replay is
+    what makes a full ``--repeats`` pass here cost minutes for no extra
+    signal.
+    """
+    node_counts = list(params["scale_node_counts"])
+    seed_node_counts = list(params["scale_seed_node_counts"])
+    jobs = params["scale_jobs"]
+    scale_repeats = max(1, min(repeats, 3))
+
+    matrix: List[Tuple[int, str, str]] = []
+    for n in node_counts:
+        matrix.append((n, "current", "calendar"))
+        matrix.append((n, "current", "heap"))
+    for n in seed_node_counts:
+        if n not in node_counts:
+            raise ValueError(f"seed baseline at {n} nodes has no current run")
+        matrix.append((n, "seed", "heap"))
+
+    configs: Dict[str, Dict] = {}
+    for n, impl, event_loop in matrix:
+        runs = [
+            _run_scale_subprocess(n, jobs, impl, event_loop, seed)
+            for _ in range(scale_repeats)
+        ]
+        checksums = {r["checksum"] for r in runs}
+        if len(checksums) != 1:
+            raise AssertionError(
+                f"scale replay not deterministic for {impl}/{event_loop}@{n}"
+            )
+        eps_samples = [r["events_per_s"] for r in runs]
+        configs[f"{impl}-{event_loop}-n{n}"] = {
+            "nodes": n,
+            "impl": impl,
+            "event_loop": event_loop,
+            "events": runs[0]["events"],
+            "events_per_s_median": statistics.median(eps_samples),
+            "events_per_s_samples": eps_samples,
+            "peak_bookings": runs[0]["peak_bookings"],
+            "peak_rss_bytes": min(r["peak_rss_bytes"] for r in runs),
+            "checksum": runs[0]["checksum"],
+        }
+
+    for n in node_counts:
+        at_n = {c["checksum"] for c in configs.values() if c["nodes"] == n}
+        if len(at_n) != 1:
+            raise AssertionError(
+                f"trajectory checksums diverge across configs at {n} nodes"
+            )
+
+    speedup_vs_seed = {
+        str(n): (
+            configs[f"current-calendar-n{n}"]["events_per_s_median"]
+            / configs[f"seed-heap-n{n}"]["events_per_s_median"]
+        )
+        for n in seed_node_counts
+    }
+    n_lo, n_hi = min(node_counts), max(node_counts)
+    rss_lo = configs[f"current-calendar-n{n_lo}"]["peak_rss_bytes"]
+    rss_hi = configs[f"current-calendar-n{n_hi}"]["peak_rss_bytes"]
+    rss = {
+        "node_growth": n_hi / n_lo,
+        "rss_growth": rss_hi / rss_lo if rss_lo > 0 else float("inf"),
+    }
+
+    return {
+        "description": (
+            "streamed big-cluster replays (subprocess per config): "
+            "events/sec, isolated peak RSS, cross-impl trajectory identity"
+        ),
+        "params": {
+            "node_counts": node_counts,
+            "seed_node_counts": seed_node_counts,
+            "jobs": jobs,
+            "replays_per_config": scale_repeats,
+            "seed": seed,
+        },
+        "configs": configs,
+        "checksums_identical": True,
+        "speedup_vs_seed": speedup_vs_seed,
+        "rss": rss,
+        "reserve_normalization": bench_reserve_normalization(
+            max(node_counts), params["scale_reserve_ops"], seed, repeats
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 def run_benchmarks(
@@ -601,6 +799,7 @@ def run_benchmarks(
     scenarios["negotiation_fastpath"] = bench_negotiation_fastpath(
         params, seed, repeats
     )
+    scenarios["scale"] = bench_scale(params, seed, repeats)
 
     report = {
         "schema": SCHEMA_VERSION,
@@ -631,7 +830,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         out_path=args.out, preset=preset, repeats=args.repeats, seed=args.seed
     )
     for name, data in report["scenarios"].items():
-        if "probe_reduction" in data:
+        if "speedup_vs_seed" in data:
+            for key, cfg in sorted(data["configs"].items()):
+                print(
+                    f"{name:24s} {key:28s}"
+                    f" {cfg['events_per_s_median']:10.0f} ev/s"
+                    f"   rss {cfg['peak_rss_bytes'] / 2**20:7.1f} MiB"
+                )
+            for n, ratio in sorted(data["speedup_vs_seed"].items(), key=lambda kv: int(kv[0])):
+                print(f"{name:24s} speedup vs seed @ {n} nodes: {ratio:.1f}x")
+            norm = data["reserve_normalization"]
+            print(
+                f"{name:24s} reserve normalization: list"
+                f" {norm['list']['median_s'] * 1e3:7.2f} ms -> nodeset"
+                f" {norm['nodeset']['median_s'] * 1e3:7.2f} ms"
+                f" ({norm['speedup']:.2f}x)"
+            )
+        elif "probe_reduction" in data:
             ppd = data["probes_per_dialogue"]
             qpd = data["predictor_queries_per_dialogue"]
             print(

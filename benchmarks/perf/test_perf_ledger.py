@@ -19,6 +19,7 @@ from ledger_bench import (
     bench_find_slot,
     bench_negotiation,
     bench_negotiation_fastpath,
+    bench_scale,
 )
 
 SEED = 20050628
@@ -65,4 +66,27 @@ def test_analytical_mode_kills_the_probe_loop_at_least_10x():
     )
     assert result["speedup"] >= 1.0, (
         f"analytical mode slower than probe mode ({result['speedup']:.2f}x)"
+    )
+
+
+@pytest.mark.perf
+def test_scale_replay_at_least_10x_faster_than_seed_at_10k_nodes():
+    result = bench_scale(PRESETS["default"], seed=SEED, repeats=3)
+    assert result["checksums_identical"]
+    speedup = result["speedup_vs_seed"]["10000"]
+    assert speedup >= 10.0, (
+        f"10k-node replay throughput vs seed degraded to {speedup:.1f}x "
+        f"(acceptance gate is 10x)"
+    )
+    # Peak RSS must stay sub-linear in cluster width: 100x the nodes may
+    # not cost 100x the memory (measured growth is ~1.5x — interpreter
+    # baseline dominates and the ledger stores only live bookings).
+    assert result["rss"]["rss_growth"] < result["rss"]["node_growth"] / 10.0, (
+        f"peak RSS grew {result['rss']['rss_growth']:.1f}x over a "
+        f"{result['rss']['node_growth']:.0f}x node-count increase"
+    )
+    # The NodeSet reserve fast path must actually skip normalisation work.
+    assert result["reserve_normalization"]["speedup"] >= 1.2, (
+        f"pre-normalised reserve no faster than list input: "
+        f"{result['reserve_normalization']['speedup']:.2f}x"
     )

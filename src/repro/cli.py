@@ -301,6 +301,15 @@ def _add_negotiation_args(parser: argparse.ArgumentParser) -> None:
         help="seconds the dialogue advances a candidate start past a "
         "predicted failure (default 1.0)",
     )
+    parser.add_argument(
+        "--event-loop",
+        choices=["heap", "calendar"],
+        default="heap",
+        dest="event_loop",
+        help="pending-event store: 'heap' (default, the seed binary heap) "
+        "or 'calendar' (O(1) amortised bucketed queue for big clusters); "
+        "trajectories are bit-identical across the two",
+    )
 
 
 def _add_env_args(parser: argparse.ArgumentParser) -> None:
@@ -563,6 +572,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 topology=args.topology,
                 negotiation_mode=args.negotiation_mode,
                 failure_jump_epsilon=args.jump_epsilon,
+                event_loop=args.event_loop,
             )
         finally:
             if trace_stream is not None:
@@ -579,6 +589,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             topology=args.topology,
             negotiation_mode=args.negotiation_mode,
             failure_jump_epsilon=args.jump_epsilon,
+            event_loop=args.event_loop,
         )
     pairs = [
         ("QoS", f"{metrics.qos:.4f}"),
@@ -639,6 +650,7 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
         seed=setup.seed,
         negotiation_mode=args.negotiation_mode,
         failure_jump_epsilon=args.jump_epsilon,
+        event_loop=args.event_loop,
     )
     system = ProbabilisticQoSSystem(config, JobLog([], name="empty"), ctx.failures)
     probe = Job(job_id=1, arrival_time=0.0, size=args.size, runtime=args.runtime)

@@ -2,6 +2,7 @@
 
 from repro.cluster.machine import Cluster
 from repro.cluster.node import Node, NodeState
+from repro.cluster.nodeset import NodeSet, freeze_nodes
 from repro.cluster.reference import SeedReservationLedger
 from repro.cluster.reservations import CapacityProfile, Reservation, ReservationLedger
 from repro.cluster.topology import (
@@ -14,8 +15,10 @@ from repro.cluster.topology import (
 __all__ = [
     "Cluster",
     "Node",
+    "NodeSet",
     "NodeState",
     "CapacityProfile",
+    "freeze_nodes",
     "Reservation",
     "ReservationLedger",
     "SeedReservationLedger",

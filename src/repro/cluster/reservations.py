@@ -25,16 +25,28 @@ Performance model
 -----------------
 The negotiation dialogue probes the ledger up to ``max_offers`` times per
 submission while mutating it at most a handful of times per job, so the
-ledger is read-dominated by two to three orders of magnitude.  Three
-structures exploit that asymmetry (see DESIGN.md "Performance"):
+ledger is read-dominated by two to three orders of magnitude.  The
+structures below exploit that asymmetry (see DESIGN.md "Performance" and
+"Scaling the substrate"):
 
 * the aggregate usage *skyline* is kept as an incrementally maintained
   delta map; :meth:`ReservationLedger.profile` materialises it into a
-  :class:`CapacityProfile` once per mutation generation and serves every
-  later call from cache in O(1);
+  :class:`CapacityProfile` — flat ``array``-module boundary/level arrays
+  with a block-decomposed range maximum — once per mutation generation
+  and serves every later call from cache in O(1);
 * each node carries a prefix-maximum over its interval end times, making
   :meth:`ReservationLedger.node_free` a pure O(log k) bisection even after
   :meth:`ReservationLedger.extend` has destroyed the sortedness of ends;
+* per-node interval lists live in dicts keyed by node and a sorted
+  *booked-node* list is maintained incrementally, so every cost scales
+  with the number of nodes actually carrying bookings — never with the
+  cluster width.  A 100k-node ledger with a hundred live jobs costs the
+  same as a 1k-node one;
+* free-node queries answer in run-length :class:`~repro.cluster.nodeset
+  .NodeSet` form (:meth:`ReservationLedger.free_nodes_set`), and the
+  scorerless ``find_slot`` path stops scanning as soon as the requested
+  width is covered, so a first-fit placement on a mostly-idle big cluster
+  touches a handful of runs instead of materialising 100k-element lists;
 * mutations locate a job's per-node interval by bisecting on the known
   reservation start instead of scanning the interval list.
 """
@@ -42,13 +54,33 @@ structures exploit that asymmetry (see DESIGN.md "Performance"):
 from __future__ import annotations
 
 import bisect
+from array import array
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.cluster.nodeset import NodeSet
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 #: Scoring callback: (node, start, end) -> sort key; lower is preferred.
 NodeScorer = Callable[[int, float, float], float]
+
+#: What ``find_slot`` returns for the chosen partition: a run-length
+#: :class:`NodeSet` on the scorerless path, a sorted list when a scorer
+#: ranked individual nodes.  Both iterate ascending and compare equal to
+#: the legacy list representation.
+ChosenNodes = Union[NodeSet, List[int]]
 
 
 class CapacityProfile:
@@ -63,9 +95,20 @@ class CapacityProfile:
     for sure, and in deep-queue phases almost every candidate fails here,
     skipping the expensive per-node scan.
 
+    Storage is two flat ``array`` buffers (``'d'`` boundaries, ``'q'``
+    levels) plus per-block maxima: O(k) to build — a million-boundary
+    skyline is ~16 MB instead of a forest of boxed floats — and range
+    maxima answer from two boundary bisections plus at most two partial
+    blocks and one scan over the block-maximum array.
+
     Construct from a reservation list, or from an already-maintained delta
     map via :meth:`from_deltas` (the ledger's incremental path).
     """
+
+    #: Usage entries per maximum block.  64 keeps partial-block scans
+    #: short while the block array stays k/64 long; queries cost ~2·64
+    #: element visits regardless of skyline size.
+    _BLOCK = 64
 
     def __init__(self, reservations: Sequence["Reservation"]) -> None:
         deltas: Dict[float, int] = {}
@@ -83,27 +126,59 @@ class CapacityProfile:
         return profile
 
     def _build(self, deltas: Dict[float, int]) -> None:
+        # Vector path pays off once fromiter/argsort amortise their fixed
+        # cost; below that the plain loop wins.  Both produce byte-identical
+        # arrays (int64 cumsum is exact), so the cutover is invisible.
+        if len(deltas) >= 64:
+            self._build_vector(deltas)
+            return
         # Zero deltas (e.g. one booking ending exactly where another
         # starts) change no level and can be dropped.
-        self._boundaries: List[float] = sorted(t for t, d in deltas.items() if d)
-        usage: List[int] = []
+        boundaries = sorted(t for t, d in deltas.items() if d)
+        self._boundaries = array("d", boundaries)
+        usage = array("q", bytes(8 * len(boundaries)))
         level = 0
-        for t in self._boundaries:
+        for i, t in enumerate(boundaries):
             level += deltas[t]
-            usage.append(level)
+            usage[i] = level
         # usage[i] holds on [boundaries[i], boundaries[i+1]).
         self._usage = usage
-        # Sparse table for O(1) range-max queries.
-        self._table: List[List[int]] = [usage]
-        length = len(usage)
-        k = 1
-        while (1 << k) <= length:
-            prev = self._table[-1]
-            half = 1 << (k - 1)
-            self._table.append(
-                [max(prev[i], prev[i + half]) for i in range(length - (1 << k) + 1)]
+        block = self._BLOCK
+        self._block_max = array(
+            "q",
+            (
+                max(usage[i : i + block])
+                for i in range(0, len(usage), block)
+            ),
+        )
+
+    def _build_vector(self, deltas: Dict[float, int]) -> None:
+        """Vectorised :meth:`_build`: sort/cumsum/block-max in numpy.
+
+        Boundary times are unique dict keys, so the argsort permutation is
+        unambiguous, and the running levels are an exact int64 cumsum —
+        the resulting buffers are byte-for-byte the ones the scalar loop
+        produces.
+        """
+        count = len(deltas)
+        times = np.fromiter(deltas.keys(), dtype=np.float64, count=count)
+        changes = np.fromiter(deltas.values(), dtype=np.int64, count=count)
+        live = changes != 0
+        times = times[live]
+        changes = changes[live]
+        order = np.argsort(times)
+        times = times[order]
+        usage = np.cumsum(changes[order])
+        self._boundaries = array("d")
+        self._boundaries.frombytes(times.tobytes())
+        self._usage = array("q")
+        self._usage.frombytes(usage.tobytes())
+        self._block_max = array("q")
+        if len(usage):
+            block_starts = np.arange(0, len(usage), self._BLOCK)
+            self._block_max.frombytes(
+                np.maximum.reduceat(usage, block_starts).tobytes()
             )
-            k += 1
 
     def max_usage(self, start: float, end: float) -> int:
         """Maximum booked node count over ``[start, end)``."""
@@ -119,9 +194,24 @@ class CapacityProfile:
         if lo > hi:
             # Window entirely inside one pre-first-boundary gap.
             return self._usage[hi] if hi >= 0 else 0
-        span = hi - lo + 1
-        k = span.bit_length() - 1
-        return max(self._table[k][lo], self._table[k][hi - (1 << k) + 1])
+        return self._range_max(lo, hi)
+
+    def _range_max(self, lo: int, hi: int) -> int:
+        """Maximum of ``_usage[lo..hi]`` (inclusive) via block decomposition."""
+        block = self._BLOCK
+        usage = self._usage
+        b_lo = lo // block
+        b_hi = hi // block
+        if b_hi - b_lo <= 1:
+            return max(usage[lo : hi + 1])
+        best = max(usage[lo : (b_lo + 1) * block])
+        mid = self._block_max[b_lo + 1 : b_hi]
+        if mid:
+            mid_max = max(mid)
+            if mid_max > best:
+                best = mid_max
+        tail = max(usage[b_hi * block : hi + 1])
+        return tail if tail > best else best
 
     def window_fits(self, start: float, end: float, free_needed: int, total: int) -> bool:
         """Capacity prefilter: can ``free_needed`` nodes possibly be free?"""
@@ -130,10 +220,15 @@ class CapacityProfile:
 
 @dataclass
 class Reservation:
-    """A booked slot: ``job_id`` holds ``nodes`` during ``[start, end)``."""
+    """A booked slot: ``job_id`` holds ``nodes`` during ``[start, end)``.
+
+    ``nodes`` is an ascending sequence — the legacy sorted tuple, or a
+    run-length :class:`NodeSet` when the booking came through the
+    NodeSet-aware fast path; the two compare equal for the same members.
+    """
 
     job_id: int
-    nodes: Tuple[int, ...]
+    nodes: Sequence[int]
     start: float
     end: float
 
@@ -159,14 +254,27 @@ class ReservationLedger:
         if node_count < 1:
             raise ValueError(f"node_count must be >= 1, got {node_count}")
         self._n = node_count
-        # Per-node parallel arrays of (start, end, job_id), sorted by start.
-        self._starts: List[List[float]] = [[] for _ in range(node_count)]
-        self._ends: List[List[float]] = [[] for _ in range(node_count)]
-        self._jobs: List[List[int]] = [[] for _ in range(node_count)]
+        self._full = NodeSet.full(node_count)
+        # Per-node parallel arrays of (start, end, job_id), sorted by start,
+        # held only for nodes that actually carry bookings — construction
+        # and memory are O(live bookings), not O(cluster width).
+        self._starts: Dict[int, List[float]] = {}
+        self._ends: Dict[int, List[float]] = {}
+        self._jobs: Dict[int, List[int]] = {}
         # Prefix maxima over _ends: _pmax_ends[n][i] = max(_ends[n][:i+1]).
         # Ends are not sorted once extend() has run; the prefix maximum is
         # what makes node_free a single bisection regardless.
-        self._pmax_ends: List[List[float]] = [[] for _ in range(node_count)]
+        self._pmax_ends: Dict[int, List[float]] = {}
+        # Ascending nodes carrying at least one interval; maintained
+        # incrementally so free-node scans touch booked nodes only.
+        self._booked: List[int] = []
+        # Every live booking's node runs, sorted by node interval:
+        # (node_lo, node_hi, start, end, job_id).  Free-set queries sweep
+        # this when it is shorter than the booked-node list — on a big
+        # cluster running wide jobs the run count is an order of magnitude
+        # below the booked-node count, and the sweep needs no per-node
+        # bisections at all.
+        self._busy_runs: List[Tuple[int, int, float, float, int]] = []
         self._by_job: Dict[int, Reservation] = {}
         # Sorted multiset of reservation end times (candidate start points).
         self._end_times: List[float] = []
@@ -231,7 +339,7 @@ class ReservationLedger:
 
         The skyline deltas are maintained incrementally by every mutation;
         this method only pays to materialise boundary/level arrays (and the
-        range-max table) on the first call after a mutation.  During a
+        block maxima) on the first call after a mutation.  During a
         negotiation dialogue — hundreds of probes, zero mutations — every
         call after the first is O(1).
         """
@@ -257,6 +365,11 @@ class ReservationLedger:
     ) -> Reservation:
         """Book ``nodes`` for ``job_id`` over ``[start, end)``.
 
+        A :class:`NodeSet` argument is taken as already normalised
+        (ascending, duplicate-free) and skips the sort entirely — the hot
+        path for placements coming straight out of :meth:`find_slot`.
+        Any other iterable pays the legacy ``tuple(sorted(set(...)))``.
+
         Args:
             allow_overlap: Skip the free-window validation.  Only for
                 *restoring* a previously held booking that may legally
@@ -268,30 +381,54 @@ class ReservationLedger:
                 ``allow_overlap``), a duplicate job id, an out-of-range
                 node, or a degenerate window.
         """
-        node_tuple = tuple(sorted(set(nodes)))
-        if not node_tuple:
+        node_seq: Sequence[int]
+        if isinstance(nodes, NodeSet):
+            node_seq = nodes
+        else:
+            node_seq = tuple(sorted(set(nodes)))
+        if not node_seq:
             raise ValueError(f"job {job_id}: empty node set")
         if end <= start:
             raise ValueError(f"job {job_id}: end {end} <= start {start}")
         if job_id in self._by_job:
             raise ValueError(f"job {job_id} already has a reservation")
-        for node in node_tuple:
-            self._check_node(node)
-            if not allow_overlap and not self.node_free(node, start, end):
-                raise ValueError(
-                    f"job {job_id}: node {node} not free over [{start}, {end})"
-                )
-        for node in node_tuple:
-            idx = bisect.bisect_left(self._starts[node], start)
-            self._starts[node].insert(idx, start)
+        # Ascending input: bounds-checking the extremes covers every node.
+        self._check_node(node_seq[0])
+        self._check_node(node_seq[-1])
+        if not allow_overlap:
+            # Only booked nodes can conflict; unbooked members are free by
+            # definition, so validation scans the (sorted) intersection of
+            # the request with the booked-node list — sublinear in the
+            # partition width on a big, mostly-idle cluster.
+            for node in self._booked_within(node_seq):
+                if not self.node_free(node, start, end):
+                    raise ValueError(
+                        f"job {job_id}: node {node} not free over [{start}, {end})"
+                    )
+        fresh: List[int] = []
+        for node in node_seq:
+            starts = self._starts.get(node)
+            if starts is None:
+                self._starts[node] = [start]
+                self._ends[node] = [end]
+                self._jobs[node] = [job_id]
+                self._pmax_ends[node] = [end]
+                fresh.append(node)
+                continue
+            idx = bisect.bisect_left(starts, start)
+            starts.insert(idx, start)
             self._ends[node].insert(idx, end)
             self._jobs[node].insert(idx, job_id)
             self._pmax_ends[node].insert(idx, end)
             self._refresh_pmax(node, idx)
-        reservation = Reservation(job_id=job_id, nodes=node_tuple, start=start, end=end)
+        for node in fresh:
+            bisect.insort(self._booked, node)
+        reservation = Reservation(job_id=job_id, nodes=node_seq, start=start, end=end)
         self._by_job[job_id] = reservation
+        for lo, hi in self._node_runs(node_seq):
+            bisect.insort(self._busy_runs, (lo, hi, start, end, job_id))
         bisect.insort(self._end_times, end)
-        width = len(node_tuple)
+        width = len(node_seq)
         self._shift_delta(start, width)
         self._shift_delta(end, -width)
         self._invalidate()
@@ -304,11 +441,19 @@ class ReservationLedger:
             raise KeyError(f"job {job_id} has no reservation")
         for node in reservation.nodes:
             idx = self._find_entry(node, job_id, reservation.start)
-            del self._starts[node][idx]
+            starts = self._starts[node]
+            del starts[idx]
             del self._ends[node][idx]
             del self._jobs[node][idx]
             del self._pmax_ends[node][idx]
-            self._refresh_pmax(node, idx)
+            if starts:
+                self._refresh_pmax(node, idx)
+            else:
+                self._drop_node(node)
+        for lo, hi in self._node_runs(reservation.nodes):
+            self._remove_busy_run(
+                (lo, hi, reservation.start, reservation.end, reservation.job_id)
+            )
         self._remove_end_time(reservation.end)
         width = len(reservation.nodes)
         self._shift_delta(reservation.start, -width)
@@ -355,6 +500,13 @@ class ReservationLedger:
             idx = self._find_entry(node, job_id, reservation.start)
             self._ends[node][idx] = new_end
             self._refresh_pmax(node, idx)
+        for lo, hi in self._node_runs(reservation.nodes):
+            self._remove_busy_run(
+                (lo, hi, reservation.start, reservation.end, job_id)
+            )
+            bisect.insort(
+                self._busy_runs, (lo, hi, reservation.start, new_end, job_id)
+            )
         self._remove_end_time(reservation.end)
         bisect.insort(self._end_times, new_end)
         width = len(reservation.nodes)
@@ -377,29 +529,63 @@ class ReservationLedger:
         after one bisection.
         """
         self._check_node(node)
-        idx = bisect.bisect_left(self._starts[node], end)
+        starts = self._starts.get(node)
+        if starts is None:
+            return True
+        idx = bisect.bisect_left(starts, end)
         return idx == 0 or self._pmax_ends[node][idx - 1] <= start
 
-    def free_nodes(self, start: float, end: float) -> List[int]:
-        """All nodes free throughout ``[start, end)``, ascending.
+    def free_nodes_set(self, start: float, end: float) -> NodeSet:
+        """All nodes free throughout ``[start, end)``, as a run-length set.
 
         Skyline fast path: a window past the last booking end, or one the
         aggregate profile shows as entirely unbooked, is free on every
-        node — no per-node checks at all.  Otherwise each node costs one
-        bisection (see :meth:`node_free`).
+        node — no per-node checks at all.  Otherwise only *booked* nodes
+        are tested (one bisection each); everything else is free by
+        definition, so the cost scales with live bookings, not cluster
+        width.
         """
         if not self._end_times or start >= self._end_times[-1]:
-            return list(range(self._n))
+            return self._full
         if self.profile().max_usage(start, end) == 0:
-            return list(range(self._n))
-        starts = self._starts
-        pmax = self._pmax_ends
-        result = []
-        for n in range(self._n):
-            idx = bisect.bisect_left(starts[n], end)
-            if idx == 0 or pmax[n][idx - 1] <= start:
-                result.append(n)
-        return result
+            return self._full
+        if len(self._busy_runs) < len(self._booked):
+            return self._free_set_sweep(start, end)
+        starts_map = self._starts
+        pmax_map = self._pmax_ends
+        busy: List[int] = []
+        for node in self._booked:
+            starts = starts_map[node]
+            idx = bisect.bisect_left(starts, end)
+            if idx > 0 and pmax_map[node][idx - 1] > start:
+                busy.append(node)
+        if not busy:
+            return self._full
+        return self._full.difference(NodeSet.from_sorted(busy))
+
+    def _free_set_sweep(self, start: float, end: float) -> NodeSet:
+        """:meth:`free_nodes_set` via one pass over the sorted booking
+        runs: union the time-overlapping runs, complement the union.  No
+        per-node work — the cost is the live *run* count, which on wide
+        partitions sits far below the booked-node count.
+        """
+        busy: List[Tuple[int, int]] = []
+        for lo, hi, r_start, r_end, _job in self._busy_runs:
+            if r_start >= end or r_end <= start:
+                continue
+            if busy and lo <= busy[-1][1]:
+                if hi > busy[-1][1]:
+                    busy[-1] = (busy[-1][0], hi)
+            else:
+                busy.append((lo, hi))
+        if not busy:
+            return self._full
+        return self._full.difference(NodeSet(busy))
+
+    def free_nodes(self, start: float, end: float) -> List[int]:
+        """All nodes free throughout ``[start, end)``, ascending (legacy
+        list form of :meth:`free_nodes_set`)."""
+        return self.free_nodes_set(start, end).to_list()
 
     def busy_jobs_at(self, time: float) -> List[int]:
         """Ids of jobs whose reservation covers ``time``, ascending."""
@@ -458,7 +644,7 @@ class ReservationLedger:
         duration: float,
         earliest: float,
         scorer: Optional[NodeScorer] = None,
-    ) -> Tuple[float, List[int]]:
+    ) -> Tuple[float, ChosenNodes]:
         """Earliest start >= ``earliest`` with ``size`` nodes free for
         ``duration``; picks the ``size`` best-scoring free nodes.
 
@@ -472,7 +658,10 @@ class ReservationLedger:
                 deterministic.
 
         Returns:
-            ``(start, nodes)``.
+            ``(start, nodes)`` — ``nodes`` is a :class:`NodeSet` on the
+            scorerless (first-fit) path and a sorted list when a scorer
+            ranked nodes; both iterate ascending and compare equal to the
+            legacy list.
 
         Raises:
             ValueError: If ``size`` exceeds the cluster width (can never be
@@ -493,7 +682,17 @@ class ReservationLedger:
             if not profile.window_fits(start, start + duration, size, self._n):
                 rejects += 1
                 continue
-            free = self.free_nodes(start, start + duration)
+            if scorer is None:
+                # First-fit wants the lowest `size` free indexes; stop the
+                # booked-node walk the moment they are covered instead of
+                # materialising the whole free set.
+                prefix = self._free_prefix(start, start + duration, size)
+                if prefix is not None:
+                    if obs:
+                        self._record_find_slot(probes, rejects)
+                    return start, prefix
+                continue
+            free = self.free_nodes_set(start, start + duration)
             if len(free) >= size:
                 chosen = self._select(free, size, start, start + duration, scorer)
                 if obs:
@@ -505,6 +704,126 @@ class ReservationLedger:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _free_prefix(
+        self, start: float, end: float, size: int
+    ) -> Optional[NodeSet]:
+        """The ``size`` lowest-indexed nodes free over ``[start, end)``,
+        or None when fewer than ``size`` are free in total.
+
+        Identical to ``free_nodes_set(start, end)[:size]`` but walks the
+        booked-node list front to back and returns as soon as the width is
+        covered — on a lightly fragmented cluster that is O(size) run
+        arithmetic no matter how wide the machine is.
+        """
+        if (
+            not self._end_times
+            or start >= self._end_times[-1]
+            or self.profile().max_usage(start, end) == 0
+        ):
+            return NodeSet.interval(0, size)
+        if len(self._busy_runs) < len(self._booked):
+            return self._free_prefix_sweep(start, end, size)
+        runs: List[Tuple[int, int]] = []
+        needed = size
+        cursor = 0  # next index not yet classified; everything below is done
+        starts_map = self._starts
+        pmax_map = self._pmax_ends
+        for node in self._booked:
+            if node > cursor:
+                take = min(node - cursor, needed)
+                self._append_run(runs, cursor, cursor + take)
+                needed -= take
+                if needed == 0:
+                    return NodeSet(runs)
+            starts = starts_map[node]
+            idx = bisect.bisect_left(starts, end)
+            if idx == 0 or pmax_map[node][idx - 1] <= start:
+                self._append_run(runs, node, node + 1)
+                needed -= 1
+                if needed == 0:
+                    return NodeSet(runs)
+            cursor = node + 1
+        if cursor < self._n:
+            take = min(self._n - cursor, needed)
+            self._append_run(runs, cursor, cursor + take)
+            needed -= take
+            if needed == 0:
+                return NodeSet(runs)
+        return None
+
+    def _free_prefix_sweep(
+        self, start: float, end: float, size: int
+    ) -> Optional[NodeSet]:
+        """:meth:`_free_prefix` via the sorted booking-run sweep.
+
+        Walks runs in ascending node order keeping a busy high-water mark;
+        every gap between the mark and the next time-overlapping run is
+        free.  Runs whose time window misses ``[start, end)`` never extend
+        the mark, so their nodes fall into gaps unless another booking
+        covers them.  Same early exit as the per-node walk.
+        """
+        runs: List[Tuple[int, int]] = []
+        needed = size
+        cursor = 0  # lowest node index not yet known busy
+        for lo, hi, r_start, r_end, _job in self._busy_runs:
+            if r_start >= end or r_end <= start:
+                continue
+            if lo > cursor:
+                take = min(lo - cursor, needed)
+                self._append_run(runs, cursor, cursor + take)
+                needed -= take
+                if needed == 0:
+                    return NodeSet(runs)
+            if hi > cursor:
+                cursor = hi
+        if cursor < self._n:
+            take = min(self._n - cursor, needed)
+            self._append_run(runs, cursor, cursor + take)
+            needed -= take
+            if needed == 0:
+                return NodeSet(runs)
+        return None
+
+    @staticmethod
+    def _append_run(runs: List[Tuple[int, int]], lo: int, hi: int) -> None:
+        """Append ``[lo, hi)`` to a run list, merging adjacency."""
+        if runs and runs[-1][1] == lo:
+            runs[-1] = (runs[-1][0], hi)
+        else:
+            runs.append((lo, hi))
+
+    @staticmethod
+    def _node_runs(nodes: Sequence[int]) -> List[Tuple[int, int]]:
+        """``nodes`` (ascending, duplicate-free) as half-open runs."""
+        if isinstance(nodes, NodeSet):
+            return list(nodes.runs)
+        runs: List[Tuple[int, int]] = []
+        for node in nodes:
+            if runs and runs[-1][1] == node:
+                runs[-1] = (runs[-1][0], node + 1)
+            else:
+                runs.append((node, node + 1))
+        return runs
+
+    def _remove_busy_run(self, entry: Tuple[int, int, float, float, int]) -> None:
+        idx = bisect.bisect_left(self._busy_runs, entry)
+        del self._busy_runs[idx]
+
+    def _booked_within(self, nodes: Sequence[int]) -> Iterator[int]:
+        """Ascending members of ``nodes`` that carry at least one booking."""
+        booked = self._booked
+        if isinstance(nodes, NodeSet):
+            for run_start, run_stop in nodes.runs:
+                i = bisect.bisect_left(booked, run_start)
+                while i < len(booked) and booked[i] < run_stop:
+                    yield booked[i]
+                    i += 1
+            return
+        for node in nodes:
+            i = bisect.bisect_left(booked, node)
+            if i < len(booked) and booked[i] == node:
+                yield node
+
     def _select(
         self,
         free: Sequence[int],
@@ -522,12 +841,23 @@ class ReservationLedger:
         if not 0 <= node < self._n:
             raise ValueError(f"node {node} out of range [0, {self._n})")
 
+    def _drop_node(self, node: int) -> None:
+        """Forget a node whose last interval was just removed."""
+        del self._starts[node]
+        del self._ends[node]
+        del self._jobs[node]
+        del self._pmax_ends[node]
+        idx = bisect.bisect_left(self._booked, node)
+        del self._booked[idx]
+
     def _find_entry(self, node: int, job_id: int, start: float) -> int:
         """Index of the job's interval on ``node``, via bisection on the
         reservation's known start (several bookings may share a start only
         through ``allow_overlap`` restores, hence the short equal-run walk).
         """
-        starts = self._starts[node]
+        starts = self._starts.get(node)
+        if starts is None:
+            raise KeyError(f"job {job_id} has no interval on node {node}")
         jobs = self._jobs[node]
         idx = bisect.bisect_left(starts, start)
         while idx < len(starts) and starts[idx] == start:

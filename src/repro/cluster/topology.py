@@ -15,6 +15,7 @@ from __future__ import annotations
 import abc
 from typing import List, Optional, Sequence
 
+from repro.cluster.nodeset import NodeSet
 from repro.cluster.reservations import NodeScorer
 
 
@@ -34,7 +35,7 @@ class Topology(abc.ABC):
         start: float,
         end: float,
         scorer: Optional[NodeScorer] = None,
-    ) -> Optional[List[int]]:
+    ) -> Optional[Sequence[int]]:
         """Choose a valid partition of ``size`` from ``free_nodes``.
 
         Args:
@@ -47,8 +48,11 @@ class Topology(abc.ABC):
                 lower indexes.
 
         Returns:
-            Sorted node list, or None if no valid partition exists (even
-            though enough nodes may be free, their *shape* may not fit).
+            An ascending node sequence (a sorted list, or a run-length
+            :class:`NodeSet` on the flat scorerless fast path — the two
+            compare equal for the same members), or None if no valid
+            partition exists (even though enough nodes may be free, their
+            *shape* may not fit).
         """
 
 
@@ -62,10 +66,14 @@ class FlatTopology(Topology):
         start: float,
         end: float,
         scorer: Optional[NodeScorer] = None,
-    ) -> Optional[List[int]]:
+    ) -> Optional[Sequence[int]]:
         if len(free_nodes) < size:
             return None
         if scorer is None:
+            # First-fit keeps a NodeSet in run-length form: on a 100k-node
+            # cluster the partition stays O(runs), never a boxed-int list.
+            if isinstance(free_nodes, NodeSet):
+                return free_nodes[:size]
             return list(free_nodes[:size])
         ranked = sorted(free_nodes, key=lambda n: (scorer(n, start, end), n))
         return sorted(ranked[:size])

@@ -53,8 +53,9 @@ The dialogue can price offers three ways (``Negotiator(mode=...)``):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.cluster.nodeset import freeze_nodes
 from repro.cluster.reservations import NodeScorer, ReservationLedger
 from repro.cluster.topology import Topology
 from repro.core.fastpath import AnalyticalEvaluator
@@ -90,7 +91,8 @@ class NegotiationOutcome:
     Attributes:
         guarantee: The promise as recorded by the system.
         start: Reserved start time.
-        nodes: Reserved partition (sorted).
+        nodes: Reserved partition (ascending; a tuple or a run-length
+            :class:`~repro.cluster.nodeset.NodeSet` — equal either way).
         reserved_end: Reservation end (start + padded duration).
         offers_made: Offers laid on the table including the accepted one
             (pruned candidates were never on the table and do not count).
@@ -100,7 +102,7 @@ class NegotiationOutcome:
 
     guarantee: QoSGuarantee
     start: float
-    nodes: Tuple[int, ...]
+    nodes: Sequence[int]
     reserved_end: float
     offers_made: int
     forced: bool
@@ -180,6 +182,10 @@ class Negotiator:
             )
         self._ledger = ledger
         self._topology = topology
+        # Prefer the run-length free-set query when the ledger offers one
+        # (the frozen seed ledger only speaks lists); both iterate the same
+        # nodes ascending, so offers are identical either way.
+        self._free_query = getattr(ledger, "free_nodes_set", ledger.free_nodes)
         self._predictor = predictor
         self._scorer = scorer
         self._max_offers = max_offers
@@ -236,7 +242,7 @@ class Negotiator:
     # ------------------------------------------------------------------
     # Offer generation
     # ------------------------------------------------------------------
-    def _price(self, nodes: Tuple[int, ...], start: float, end: float) -> float:
+    def _price(self, nodes: Sequence[int], start: float, end: float) -> float:
         """The promised failure probability for a concrete partition."""
         if self._mode == "analytical":
             assert self._eval is not None
@@ -263,7 +269,7 @@ class Negotiator:
         Picks the lowest-failure-probability partition among the free nodes
         (the paper's tie-breaking), then quotes ``p = 1 − p_f`` for it.
         """
-        free = self._ledger.free_nodes(start, start + duration)
+        free = self._free_query(start, start + duration)
         if len(free) < size:
             return None
         nodes = self._topology.select_partition(
@@ -271,10 +277,11 @@ class Negotiator:
         )
         if nodes is None:
             return None
-        p_f = self._price(tuple(nodes), start, start + duration)
+        partition = freeze_nodes(nodes)
+        p_f = self._price(partition, start, start + duration)
         return DeadlineOffer(
             start=start,
-            nodes=tuple(nodes),
+            nodes=partition,
             deadline=start + duration,
             probability=1.0 - p_f,
             failure_probability=p_f,
@@ -371,7 +378,7 @@ class Negotiator:
                     # Advance exactly as the unpruned loop would: find the
                     # partition this candidate would have offered and jump
                     # past its earliest predicted failure.
-                    free = self._ledger.free_nodes(start, start + duration)
+                    free = self._free_query(start, start + duration)
                     if len(free) < size:
                         return
                     nodes = self._topology.select_partition(

@@ -47,6 +47,7 @@ from repro.prediction.trace import TracePredictor
 from repro.scheduling.fcfs import ConservativeBackfillScheduler
 from repro.scheduling.placement import scorer_by_name
 from repro.scheduling.queue import PendingStarts
+from repro.sim.calendar_queue import EVENT_QUEUE_KINDS
 from repro.sim.engine import EventLoop
 from repro.sim.events import Event, EventKind
 from repro.workload.job import Job, JobLog
@@ -90,6 +91,12 @@ class SystemConfig:
             negotiation fast path".
         failure_jump_epsilon: Seconds the negotiation dialogue advances a
             candidate start past a predicted failure.
+        event_loop: Pending-event store backend, one of
+            :data:`~repro.sim.calendar_queue.EVENT_QUEUE_KINDS` —
+            ``"heap"`` (default, the seed binary heap) or ``"calendar"``
+            (O(1) amortised bucketed queue for big-cluster replays).  The
+            dispatched event sequence — and therefore the whole trajectory
+            — is bit-identical across backends.
     """
 
     node_count: int = 128
@@ -109,12 +116,18 @@ class SystemConfig:
     max_offers: int = 400
     negotiation_mode: str = "analytical"
     failure_jump_epsilon: float = 1.0
+    event_loop: str = "heap"
 
     def __post_init__(self) -> None:
         if self.negotiation_mode not in NEGOTIATION_MODES:
             raise ValueError(
                 f"negotiation_mode must be one of {NEGOTIATION_MODES}, "
                 f"got {self.negotiation_mode!r}"
+            )
+        if self.event_loop not in EVENT_QUEUE_KINDS:
+            raise ValueError(
+                f"event_loop must be one of {EVENT_QUEUE_KINDS}, "
+                f"got {self.event_loop!r}"
             )
         if self.failure_jump_epsilon <= 0:
             raise ValueError(
@@ -297,7 +310,7 @@ class ProbabilisticQoSSystem:
             recorder if isinstance(recorder, SpanBuilder) else None
         )
 
-        self.loop = EventLoop(registry=self.registry)
+        self.loop = EventLoop(registry=self.registry, queue=config.event_loop)
         if self._span_builder is not None:
             # Exported timelines carry the event-mix breakdown in their
             # metadata; counting costs one bool test per event otherwise.

@@ -29,6 +29,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.cluster.nodeset import NodeSet
 from repro.failures.events import FailureTrace
 from repro.prediction.base import PredictedFailure
 
@@ -86,6 +87,20 @@ class FailureIntervalIndex:
     # ------------------------------------------------------------------
     # Point queries
     # ------------------------------------------------------------------
+    def _query_order(self, nodes: Iterable[int]) -> Iterable[int]:
+        """The cheaper side to iterate for a per-node scan over ``nodes``.
+
+        Only nodes carrying detectable failures can contribute to any
+        query, so when a run-length :class:`NodeSet` is wider than the
+        failing-node list the scan flips to ``failing ∩ nodes`` — on a
+        100k-node partition with a handful of dirty nodes that is a few
+        bisections instead of 100k dict probes.  Both orders are ascending
+        restrictions of the same set, so results are unchanged.
+        """
+        if isinstance(nodes, NodeSet) and len(self._failing_nodes) < len(nodes):
+            return [n for n in self._failing_nodes if n in nodes]
+        return nodes
+
     def _node_first(
         self, node: int, start: float, end: float
     ) -> Optional[Tuple[float, int, float]]:
@@ -113,11 +128,19 @@ class FailureIntervalIndex:
         self, nodes: Iterable[int], start: float, end: float
     ) -> Optional[Tuple[float, int, float, int]]:
         """``(time, event_id, p_x, node)`` of the set's earliest detectable
-        failure in ``[start, end)``, minimised by ``(time, event_id)``."""
+        failure in ``[start, end)``, minimised by ``(time, event_id)``.
+
+        ``(time, event_id)`` keys are unique across nodes, so the minimum
+        is independent of iteration order — which licenses the big-cluster
+        fast path: a wide run-length :class:`NodeSet` is intersected with
+        the (usually far shorter) failing-node list instead of being walked
+        member by member.
+        """
         if end <= start:
             return None
+        candidates = self._query_order(nodes)
         best: Optional[Tuple[float, int, float, int]] = None
-        for node in nodes:
+        for node in candidates:
             first = self._node_first(node, start, end)
             if first is None:
                 continue
@@ -154,8 +177,12 @@ class FailureIntervalIndex:
         (``TracePredictor.predicted_failures`` semantics)."""
         if end <= start:
             return []
+        if isinstance(nodes, NodeSet):
+            ordered: Iterable[int] = self._query_order(nodes)
+        else:
+            ordered = sorted(set(nodes))
         hits: List[Tuple[float, int, float, int]] = []
-        for node in sorted(set(nodes)):
+        for node in ordered:
             times = self._times.get(node)
             if not times:
                 continue

@@ -26,8 +26,9 @@ frozen-schedule behaviour is the default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Sequence
 
+from repro.cluster.nodeset import freeze_nodes
 from repro.cluster.reservations import NodeScorer, ReservationLedger
 from repro.cluster.topology import Topology
 from repro.core.fastpath import AnalyticalEvaluator
@@ -43,7 +44,7 @@ class RestartReservation:
 
     job_id: int
     start: float
-    nodes: Tuple[int, ...]
+    nodes: Sequence[int]
     end: float
 
 
@@ -85,6 +86,9 @@ class ConservativeBackfillScheduler:
     ) -> None:
         self._ledger = ledger
         self._topology = topology
+        # Same dispatch as the negotiator: run-length free sets when the
+        # ledger speaks NodeSet, plain lists from the frozen seed ledger.
+        self._free_query = getattr(ledger, "free_nodes_set", ledger.free_nodes)
         self._predictor = predictor
         self._scorer = scorer
         registry = registry if registry is not None else NULL_REGISTRY
@@ -146,7 +150,7 @@ class ConservativeBackfillScheduler:
                 start, start + padded_remaining, size, total
             ):
                 continue
-            free = self._ledger.free_nodes(start, start + padded_remaining)
+            free = self._free_query(start, start + padded_remaining)
             if len(free) < size:
                 continue
             nodes = self._topology.select_partition(
@@ -162,7 +166,7 @@ class ConservativeBackfillScheduler:
             return RestartReservation(
                 job_id=job_id,
                 start=start,
-                nodes=tuple(nodes),
+                nodes=freeze_nodes(nodes),
                 end=start + padded_remaining,
             )
         raise RuntimeError(
@@ -196,7 +200,7 @@ class ConservativeBackfillScheduler:
         for start in self._ledger.candidate_times(now):
             if start >= reservation.start:
                 break
-            free = self._ledger.free_nodes(start, start + duration)
+            free = self._free_query(start, start + duration)
             if len(free) < len(reservation.nodes):
                 continue
             nodes = self._topology.select_partition(
@@ -208,7 +212,7 @@ class ConservativeBackfillScheduler:
             if self._obs:
                 self._c_pull_successes.inc()
             return RestartReservation(
-                job_id=job_id, start=start, nodes=tuple(nodes), end=start + duration
+                job_id=job_id, start=start, nodes=freeze_nodes(nodes), end=start + duration
             )
         # No improvement: restore the original booking.  The original may
         # legally overlap another job's extended interval, so skip the

@@ -1,20 +1,27 @@
 """A small, deterministic discrete-event simulation engine.
 
-The engine is a classic calendar-queue loop: a binary heap of
+The engine is a classic event loop: pending
 :class:`~repro.sim.events.Event` objects ordered by
 ``(time, kind tie-break, insertion sequence)``.  Handlers are registered per
 :class:`~repro.sim.events.EventKind` and invoked with the event; handlers may
 schedule or cancel further events.
+
+The pending-event store is pluggable (``EventLoop(queue=...)``): the
+default is the seed binary heap, and big-cluster runs select the
+calendar queue (see :mod:`repro.sim.calendar_queue`) for O(1) amortised
+scheduling at million-event depth.  Both backends honour the same total
+ordering, so the dispatched sequence — and therefore every simulation
+trajectory — is bit-identical across them.
 
 Design notes
 ------------
 * **Determinism.**  Given the same inputs (workload, failure trace, seeds)
   two runs produce identical event sequences.  All tie-breaking is explicit;
   no iteration order over sets or dicts ever influences scheduling.
-* **Cancellation** is lazy: cancelled events stay in the heap and are skipped
-  when popped.  This keeps cancellation O(1) and is the standard approach for
-  simulators whose events are frequently superseded (e.g. a job's finish
-  event is cancelled when a node failure kills the job).
+* **Cancellation** is lazy: cancelled events stay in the queue and are
+  skipped when popped.  This keeps cancellation O(1) and is the standard
+  approach for simulators whose events are frequently superseded (e.g. a
+  job's finish event is cancelled when a node failure kills the job).
 * **Monotonic time.**  Scheduling an event in the past raises
   :class:`SimulationError`; this catches logic bugs early instead of silently
   reordering history.
@@ -22,11 +29,11 @@ Design notes
 
 from __future__ import annotations
 
-import heapq
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.obs.registry import NULL_REGISTRY, Counter, Histogram, MetricsRegistry
+from repro.sim.calendar_queue import EVENT_QUEUE_KINDS, EventQueue, make_event_queue
 from repro.sim.events import Event, EventKind
 
 Handler = Callable[[Event], None]
@@ -54,9 +61,20 @@ class EventLoop:
         self,
         start_time: float = 0.0,
         registry: Optional[MetricsRegistry] = None,
+        queue: str = "heap",
     ) -> None:
+        """Args:
+            start_time: Initial simulated clock.
+            registry: Optional obs registry (see class docstring).
+            queue: Pending-event store, one of
+                :data:`~repro.sim.calendar_queue.EVENT_QUEUE_KINDS` —
+                ``"heap"`` (default, the seed backend) or ``"calendar"``
+                (O(1) amortised at big-cluster depth).  Both dispatch the
+                exact same event sequence.
+        """
         self._now = float(start_time)
-        self._heap: List[tuple] = []
+        self._queue: EventQueue = make_event_queue(queue)
+        self._queue_kind = queue
         self._seq = 0
         self._live = 0
         self._handlers: Dict[EventKind, Handler] = {}
@@ -87,6 +105,11 @@ class EventLoop:
         return self._now
 
     @property
+    def queue_kind(self) -> str:
+        """The configured queue backend (``"heap"`` or ``"calendar"``)."""
+        return self._queue_kind
+
+    @property
     def processed_events(self) -> int:
         """Number of events dispatched so far (excludes cancelled)."""
         return self._processed
@@ -103,17 +126,12 @@ class EventLoop:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the queue is empty.
 
-        Pops cancelled events off the heap head as a side effect, so the
-        cost of lazy cancellation is paid once per cancelled event rather
-        than on every peek; a peek with a live head is O(1).
+        Purges cancelled events off the queue head as a side effect, so
+        the cost of lazy cancellation is paid once per cancelled event
+        rather than on every peek; a peek with a live head is O(1).
         """
-        while self._heap:
-            _, event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            return event.time
-        return None
+        event = self._queue.peek()
+        return event.time if event is not None else None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -152,7 +170,7 @@ class EventLoop:
             event.on_cancel = self._on_cancel
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._queue.push(event)
         return event
 
     def schedule_in(self, delay: float, kind: EventKind, **payload: Any) -> Event:
@@ -170,31 +188,29 @@ class EventLoop:
 
     def step(self) -> Optional[Event]:
         """Dispatch the next live event; returns it, or None if drained."""
-        while self._heap:
-            _, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            # Off the heap: a late cancel() must not touch the live count.
-            event.on_cancel = None
-            self._live -= 1
-            self._now = event.time
-            handler = self._handlers.get(event.kind)
-            if handler is None:
-                raise SimulationError(f"no handler registered for {event.kind.value}")
-            if self._obs:
-                self._live_by_kind[event.kind] -= 1
-                self._dispatched_counter(event.kind).inc()
-                t0 = time.perf_counter()  # qoslint: disable=QOS102 -- obs handler timer: measures real handler cost, never feeds sim state
-                handler(event)
-                self._handler_timer(event.kind).observe(time.perf_counter() - t0)  # qoslint: disable=QOS102 -- obs handler timer: wall duration goes to the registry only
-            else:
-                handler(event)
-            if self._count_dispatch:
-                key = event.kind.value
-                self._dispatch_counts[key] = self._dispatch_counts.get(key, 0) + 1
-            self._processed += 1
-            return event
-        return None
+        event = self._queue.pop()
+        if event is None:
+            return None
+        # Off the queue: a late cancel() must not touch the live count.
+        event.on_cancel = None
+        self._live -= 1
+        self._now = event.time
+        handler = self._handlers.get(event.kind)
+        if handler is None:
+            raise SimulationError(f"no handler registered for {event.kind.value}")
+        if self._obs:
+            self._live_by_kind[event.kind] -= 1
+            self._dispatched_counter(event.kind).inc()
+            t0 = time.perf_counter()  # qoslint: disable=QOS102 -- obs handler timer: measures real handler cost, never feeds sim state
+            handler(event)
+            self._handler_timer(event.kind).observe(time.perf_counter() - t0)  # qoslint: disable=QOS102 -- obs handler timer: wall duration goes to the registry only
+        else:
+            handler(event)
+        if self._count_dispatch:
+            key = event.kind.value
+            self._dispatch_counts[key] = self._dispatch_counts.get(key, 0) + 1
+        self._processed += 1
+        return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` is reached, or stopped.

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Dict, List, Optional, TextIO, Tuple, Union
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
 from repro.workload.job import Job, JobLog
 
@@ -60,12 +60,74 @@ def _parse_fields(line: str, line_no: int) -> List[float]:
         raise SWFParseError(line_no, line, f"non-numeric field ({exc})") from None
 
 
+def iter_swf(
+    source: Union[str, Path, TextIO],
+    max_jobs: Optional[int] = None,
+    header: Optional[Dict[str, str]] = None,
+) -> Iterator[Job]:
+    """Stream the valid jobs of an SWF file in file order, O(1) memory.
+
+    The streaming core behind :func:`parse_swf` — use it directly to walk
+    a multi-million-line archive trace (or a synthetic export of one)
+    without materialising a job list.  Tolerates what real archive files
+    contain beyond the canonical format: blank lines and full-line ``;``
+    comments anywhere in the file (not just a leading header block), and
+    trailing ``; ...`` comments on data lines.
+
+    Args:
+        source: Path to an ``.swf`` file, or an open text stream.
+        max_jobs: Optional cap on accepted (valid) jobs.
+        header: Optional dict the ``; Key: value`` header entries are
+            written into as they are encountered (an entry is only
+            guaranteed present once the line carrying it has been
+            consumed).
+
+    Yields:
+        :class:`Job` records, skipping cancelled/corrupt lines (the
+        standard cleaning step).
+
+    Raises:
+        SWFParseError: On malformed data lines.
+    """
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8", errors="replace") as fh:
+            yield from iter_swf(fh, max_jobs=max_jobs, header=header)
+        return
+
+    accepted = 0
+    for line_no, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            body = line.lstrip("; ")
+            if header is not None and ":" in body:
+                key, _, value = body.partition(":")
+                header[key.strip()] = value.strip()
+            continue
+        # Trailing comment on a data line: everything after ';' is noise.
+        data = line.split(";", 1)[0].strip()
+        if not data:
+            continue
+        fields = _parse_fields(data, line_no)
+        job = _job_from_fields(fields)
+        if job is None:
+            continue  # cancelled / corrupt record: standard cleaning step
+        yield job
+        accepted += 1
+        if max_jobs is not None and accepted >= max_jobs:
+            return
+
+
 def parse_swf(
     source: Union[str, Path, TextIO],
     name: Optional[str] = None,
     max_jobs: Optional[int] = None,
 ) -> Tuple[JobLog, Dict[str, str]]:
     """Parse an SWF file or stream into a :class:`JobLog`.
+
+    A materialising wrapper over :func:`iter_swf`; prefer the iterator
+    for traces too large to hold as a list.
 
     Args:
         source: Path to an ``.swf`` file, or an open text stream.
@@ -85,24 +147,7 @@ def parse_swf(
             return parse_swf(fh, name=name or path.stem, max_jobs=max_jobs)
 
     header: Dict[str, str] = {}
-    jobs: List[Job] = []
-    for line_no, raw in enumerate(source, start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if line.startswith(";"):
-            body = line.lstrip("; ")
-            if ":" in body:
-                key, _, value = body.partition(":")
-                header[key.strip()] = value.strip()
-            continue
-        fields = _parse_fields(line, line_no)
-        job = _job_from_fields(fields)
-        if job is None:
-            continue  # cancelled / corrupt record: standard cleaning step
-        jobs.append(job)
-        if max_jobs is not None and len(jobs) >= max_jobs:
-            break
+    jobs: List[Job] = list(iter_swf(source, max_jobs=max_jobs, header=header))
     return JobLog(jobs, name=name or "swf"), header
 
 

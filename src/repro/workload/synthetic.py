@@ -25,7 +25,7 @@ Real archive files can be substituted at any time via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -215,6 +215,125 @@ def generate_workload(
         for i in range(count)
     ]
     return JobLog(jobs, name=spec.name)
+
+
+@dataclass(frozen=True)
+class BigClusterSpec:
+    """A scale-testing workload for clusters far wider than the paper's 128.
+
+    Unlike :class:`WorkloadSpec` this spec is built to be *streamed*
+    (:func:`stream_jobs`): arrivals are generated as per-job exponential
+    inter-arrival gaps whose mean is each job's work divided by the target
+    delivered capacity, so the offered load sits on target over any prefix
+    of the stream and a million-job trace never has to exist in memory.
+
+    Attributes:
+        name: Label (feeds the RNG substream, so two specs with different
+            names draw independent streams from the same master seed).
+        nodes: Cluster width the load targets.
+        offered_load: Target total-work / capacity over the arrival span.
+        mean_runtime: Target average runtime in seconds.
+        min_runtime: Runtime floor in seconds.
+        max_runtime: Runtime cap in seconds.
+        runtime_sigma: Lognormal shape for runtimes.
+        size_decay: Geometric decay of the power-of-two size weights;
+            smaller means smaller jobs dominate (0.55 gives a mean around
+            a few dozen nodes with a tail into the hundreds).
+        max_size_fraction: Per-job size cap as a fraction of ``nodes``
+            (real schedulers rarely see single jobs spanning the machine).
+    """
+
+    name: str = "big"
+    nodes: int = 10_000
+    offered_load: float = 0.7
+    mean_runtime: float = 3600.0
+    min_runtime: float = 60.0
+    max_runtime: float = 24 * 3600.0
+    runtime_sigma: float = 1.6
+    size_decay: float = 0.55
+    max_size_fraction: float = 0.25
+
+
+#: Default big-cluster stream used by the ``scale`` benchmark scenario.
+BIG_SPEC = BigClusterSpec()
+
+
+def stream_jobs(
+    spec: BigClusterSpec,
+    seed: Optional[int] = None,
+    job_count: int = 1_000_000,
+    chunk: int = 8192,
+) -> Iterator[Job]:
+    """Stream ``job_count`` jobs in arrival order with O(``chunk``) memory.
+
+    Sizes are powers of two with geometrically decaying weights (capped at
+    ``spec.max_size_fraction * spec.nodes``); runtimes are truncated
+    lognormals; each job's inter-arrival gap is exponential with mean
+    ``work / (nodes * offered_load)``, which keeps arrivals sorted by
+    construction and the offered load on target over any prefix — no
+    global span computation, so nothing about the stream requires holding
+    it in memory.
+
+    Determinism: the stream is a pure function of ``(spec, seed,
+    job_count, chunk)`` — draws happen in fixed-size batches, so ``chunk``
+    is part of the definition, not a tuning knob to vary per run.
+
+    Args:
+        spec: The big-cluster specification.
+        seed: Master seed (independent substream per ``spec.name``).
+        job_count: Total jobs to yield.
+        chunk: Jobs drawn per RNG batch.
+
+    Yields:
+        :class:`Job` values with strictly nondecreasing arrival times and
+        ids ``1..job_count``.
+    """
+    if job_count <= 0:
+        raise ValueError(f"job_count must be > 0, got {job_count}")
+    if chunk <= 0:
+        raise ValueError(f"chunk must be > 0, got {chunk}")
+    rng = substream(seed, f"workload.{spec.name}.stream")
+
+    max_size = max(1, int(spec.nodes * spec.max_size_fraction))
+    exponents = max_size.bit_length()  # sizes 2^0 .. 2^(exponents-1) <= max_size
+    sampler = PowerOfTwoSizes(
+        tuple(spec.size_decay**k for k in range(exponents))
+    )
+    median = max(
+        spec.min_runtime,
+        spec.mean_runtime / float(np.exp(spec.runtime_sigma**2 / 2.0)),
+    )
+    capacity = spec.nodes * spec.offered_load
+
+    clock = 0.0
+    job_id = 1
+    remaining = job_count
+    while remaining > 0:
+        n = min(chunk, remaining)
+        sizes = np.minimum(sampler.sample(rng, n), spec.nodes)
+        runtimes = truncated_lognormal(
+            rng,
+            n,
+            median=median,
+            sigma=spec.runtime_sigma,
+            minimum=spec.min_runtime,
+            maximum=spec.max_runtime,
+        )
+        gaps = rng.exponential(sizes * runtimes / capacity)
+        users = rng.integers(1, 1000, size=n)
+        for i in range(n):
+            clock += float(gaps[i])
+            runtime = float(runtimes[i])
+            yield Job(
+                job_id=job_id,
+                arrival_time=clock,
+                size=int(sizes[i]),
+                runtime=runtime,
+                user_id=int(users[i]),
+                requested_time=runtime,
+            )
+            job_id += 1
+        remaining -= n
 
 
 def nasa_log(seed: Optional[int] = None, job_count: Optional[int] = None) -> JobLog:

@@ -1,0 +1,42 @@
+"""Heap vs calendar event loop: bit-identical simulations at paper scale.
+
+The acceptance bar for the calendar-queue backend is not "close": the
+total event ordering ``(time, TIE_BREAK_ORDER, seq)`` makes any correct
+priority queue interchangeable, so a full NASA-trace simulation — jobs,
+failures, checkpoints, negotiation, the lot — must produce *identical*
+metrics under ``--event-loop heap`` and ``--event-loop calendar``.  The
+queue-level property test lives in ``tests/sim/test_calendar_queue.py``;
+this is the end-to-end version on the pipeline the paper's figures use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import SystemConfig
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.runner import ExperimentContext
+
+JOBS = 150
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.prepare(
+        ExperimentSetup(workload="nasa", seed=7, job_count=JOBS)
+    )
+
+
+def test_nasa_point_bit_identical_across_event_loops(context):
+    heap = context.run_point(0.7, 0.5, event_loop="heap")
+    calendar = context.run_point(0.7, 0.5, event_loop="calendar")
+    assert heap == calendar
+
+
+def test_default_event_loop_is_heap():
+    assert SystemConfig().event_loop == "heap"
+
+
+def test_invalid_event_loop_rejected():
+    with pytest.raises(ValueError, match="event_loop"):
+        SystemConfig(event_loop="splay")

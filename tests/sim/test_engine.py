@@ -228,7 +228,7 @@ class TestQueueIntrospectionFastPaths:
             event.cancel()
         assert loop.peek_time() == 4.0
         # The cancelled prefix was physically removed from the heap.
-        assert len(loop._heap) == 1
+        assert len(loop._queue._heap) == 1
 
     def test_peek_time_does_not_advance_clock_or_dispatch(self):
         loop, log = make_loop_with_log()

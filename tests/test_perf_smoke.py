@@ -40,7 +40,7 @@ def test_perf_harness_smoke(tmp_path):
     assert result.returncode == 0, result.stderr
 
     report = json.loads(out.read_text())
-    assert report["schema"] == 4
+    assert report["schema"] == 5
     assert report["preset"] == "smoke"
     scenarios = report["scenarios"]
     for name in ("find_slot_deep_queue", "negotiation_dialogue"):
@@ -95,3 +95,29 @@ def test_perf_harness_smoke(tmp_path):
     assert fastpath["grid"]["query_reduction"] >= 10.0, (
         f"figures-grid predictor queries: {fastpath['grid']['predictor_queries']}"
     )
+
+    # Schema 5: the scale scenario (streamed big-cluster replays in
+    # per-config subprocesses).  Shape and identity only — the ≥10x
+    # throughput gate needs the default preset and lives with the
+    # perf-marked benchmarks.
+    scale = scenarios["scale"]
+    assert scale["checksums_identical"]
+    node_counts = scale["params"]["node_counts"]
+    configs = scale["configs"]
+    for n in node_counts:
+        for impl, event_loop in (
+            ("current", "calendar"),
+            ("current", "heap"),
+        ):
+            cfg = configs[f"{impl}-{event_loop}-n{n}"]
+            assert cfg["events"] == 2 * scale["params"]["jobs"]
+            assert cfg["events_per_s_median"] > 0
+            assert cfg["peak_rss_bytes"] > 0
+            assert cfg["peak_bookings"] > 0
+    for n in scale["params"]["seed_node_counts"]:
+        assert f"seed-heap-n{n}" in configs
+        assert scale["speedup_vs_seed"][str(n)] > 0
+    norm = scale["reserve_normalization"]
+    assert norm["list"]["median_s"] > 0
+    assert norm["nodeset"]["median_s"] > 0
+    assert norm["speedup"] > 0

@@ -7,7 +7,13 @@ import io
 import pytest
 
 from repro.workload.job import Job, JobLog
-from repro.workload.swf import SWFParseError, parse_swf, roundtrip, write_swf
+from repro.workload.swf import (
+    SWFParseError,
+    iter_swf,
+    parse_swf,
+    roundtrip,
+    write_swf,
+)
 
 SAMPLE = """\
 ; Computer: test machine
@@ -105,3 +111,51 @@ class TestWriting:
         )
         parsed = roundtrip(log)
         assert parsed[0].arrival_time == 11.0
+
+
+class TestStreaming:
+    """iter_swf: the O(1)-memory core behind parse_swf."""
+
+    def test_yields_jobs_lazily_in_file_order(self):
+        it = iter_swf(io.StringIO(SAMPLE))
+        assert next(it).job_id == 1
+        assert next(it).job_id == 3
+        with pytest.raises(StopIteration):
+            next(it)
+
+    def test_matches_parse_swf(self):
+        streamed = list(iter_swf(io.StringIO(SAMPLE)))
+        log, _ = parse_swf(io.StringIO(SAMPLE))
+        assert streamed == list(log)
+
+    def test_mid_file_and_trailing_comments_tolerated(self):
+        text = (
+            "; Computer: test\n"
+            "1 100 5 3600 4 -1 -1 4 7200 -1 1 17 -1 -1 -1 -1 -1 -1\n"
+            "; a comment in the middle of the data block\n"
+            "2 200 5 3600 4 -1 -1 4 7200 -1 1 17 -1 -1 -1 -1 -1 -1 ; trailing note\n"
+            ";\n"
+            "3 300 5 3600 4 -1 -1 4 7200 -1 1 17 -1 -1 -1 -1 -1 -1\n"
+        )
+        assert [j.job_id for j in iter_swf(io.StringIO(text))] == [1, 2, 3]
+
+    def test_header_captured_incrementally(self):
+        header = {}
+        list(iter_swf(io.StringIO(SAMPLE), header=header))
+        assert header == {"Computer": "test machine", "MaxNodes": "128"}
+
+    def test_max_jobs_counts_accepted_jobs_only(self):
+        # Job 2 is a cancelled record; the cap must apply to *valid* jobs.
+        jobs = list(iter_swf(io.StringIO(SAMPLE), max_jobs=2))
+        assert [j.job_id for j in jobs] == [1, 3]
+        assert [j.job_id for j in iter_swf(io.StringIO(SAMPLE), max_jobs=1)] == [1]
+
+    def test_streams_from_path(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(SAMPLE)
+        assert [j.job_id for j in iter_swf(path)] == [1, 3]
+
+    def test_malformed_line_raises_at_consumption_point(self):
+        it = iter_swf(io.StringIO("1 2 3\n"))
+        with pytest.raises(SWFParseError):
+            next(it)

@@ -6,12 +6,15 @@ import numpy as np
 import pytest
 
 from repro.workload.synthetic import (
+    BIG_SPEC,
     NASA_SPEC,
     SDSC_SPEC,
+    BigClusterSpec,
     generate_workload,
     log_by_name,
     nasa_log,
     sdsc_log,
+    stream_jobs,
 )
 
 JOBS = 4000
@@ -121,3 +124,60 @@ class TestDeterminismAndApi:
     def test_job_ids_unique_and_ordered(self, nasa):
         ids = [j.job_id for j in nasa]
         assert len(set(ids)) == len(ids)
+
+
+class TestStreamJobs:
+    """The streaming big-cluster generator (million-job scale)."""
+
+    def test_deterministic_for_seed(self):
+        a = list(stream_jobs(BIG_SPEC, seed=5, job_count=500))
+        b = list(stream_jobs(BIG_SPEC, seed=5, job_count=500))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(stream_jobs(BIG_SPEC, seed=5, job_count=500))
+        b = list(stream_jobs(BIG_SPEC, seed=6, job_count=500))
+        assert a != b
+
+    def test_arrivals_sorted_and_ids_sequential(self):
+        jobs = list(stream_jobs(BIG_SPEC, seed=2, job_count=2000))
+        assert [j.job_id for j in jobs] == list(range(1, 2001))
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_sizes_within_cluster_and_runtimes_within_spec(self):
+        spec = BigClusterSpec(nodes=1000)
+        jobs = list(stream_jobs(spec, seed=3, job_count=2000))
+        assert all(1 <= j.size <= spec.nodes for j in jobs)
+        assert all(
+            spec.min_runtime <= j.runtime <= spec.max_runtime for j in jobs
+        )
+
+    def test_offered_load_near_target_on_any_prefix(self):
+        # The per-job gap is calibrated against that job's own work, so the
+        # load target holds over any (large enough) prefix — the property
+        # that lets a million-job stream be consumed incrementally.  The
+        # tolerance is generous: per-job work is heavy-tailed (lognormal
+        # runtimes times power-of-two sizes), so prefix estimates converge
+        # slowly.
+        spec = BigClusterSpec(nodes=1000)
+        jobs = list(stream_jobs(spec, seed=4, job_count=30_000))
+        for prefix in (10_000, 30_000):
+            window = jobs[:prefix]
+            work = sum(j.size * j.runtime for j in window)
+            span = window[-1].arrival_time
+            load = work / (spec.nodes * span)
+            assert load == pytest.approx(spec.offered_load, rel=0.2)
+
+    def test_is_lazy(self):
+        # Consuming two jobs must not require generating the full count.
+        it = stream_jobs(BIG_SPEC, seed=1, job_count=10**9)
+        first = next(it)
+        second = next(it)
+        assert second.arrival_time >= first.arrival_time
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            next(stream_jobs(BIG_SPEC, seed=1, job_count=0))
+        with pytest.raises(ValueError):
+            next(stream_jobs(BIG_SPEC, seed=1, job_count=10, chunk=0))
