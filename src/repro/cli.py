@@ -262,10 +262,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         dest="output_format",
         help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--arch",
+        action="store_true",
+        help=(
+            "also run the whole-program architecture pass "
+            "(QOS501 layering, QOS502 import cycles)"
+        ),
     )
     lint.add_argument(
         "--select",
@@ -910,6 +918,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         output_format=args.output_format,
         select=args.select,
         ignore=args.ignore,
+        arch=args.arch,
     )
 
 
@@ -925,6 +934,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
             figures=args.figures,
             jobs=args.jobs,
             cache=cache,
+            # Timing is progress output, not part of the archival artifact.
+            elapsed_to=sys.stderr,
         )
     )
     _report_cache(cache)

@@ -93,3 +93,17 @@ class DeadlineOffer:
     deadline: float
     probability: float
     failure_probability: float
+
+    def __post_init__(self) -> None:
+        # Same boundary discipline as QoSGuarantee: a predictor bug that
+        # quotes p outside [0, 1] must fail here, loudly, not propagate
+        # into negotiation and the audit as a silently-wrong promise.
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"offer probability {self.probability} not in [0, 1]"
+            )
+        if not 0.0 <= self.failure_probability <= 1.0:
+            raise ValueError(
+                f"offer failure probability {self.failure_probability} "
+                "not in [0, 1]"
+            )

@@ -5,12 +5,18 @@ headline endpoints and the promise-honesty audit — against freshly prepared
 (or caller-supplied) contexts, and renders one plain-text document.  It is
 what ``probqos report`` prints and what an archival run would check in next
 to EXPERIMENTS.md.
+
+The returned report is byte-identical across runs with the same inputs —
+that is the point of an archival artifact.  Wall-clock timing therefore
+never enters the document: the elapsed line goes to ``elapsed_to`` (the
+CLI passes stderr), not into the report.  The flow linter enforces this
+(QOS201 tracks wall-clock taint into library return values).
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import List, Optional, TextIO
 
 from repro.core.calibration import brier_score, calibration_gap
 from repro.core.system import simulate
@@ -35,6 +41,7 @@ def generate_report(
     catalog: Optional[FigureCatalog] = None,
     jobs: int = 1,
     cache=None,
+    elapsed_to: Optional[TextIO] = None,
 ) -> str:
     """Regenerate tables, figures and audits; return the full text report.
 
@@ -48,11 +55,14 @@ def generate_report(
         jobs: Worker processes for the sweep grids (1 = sequential).
         cache: Optional persistent :class:`~repro.experiments.cache
             .PointCache` making reruns of the whole report nearly free.
+        elapsed_to: Where to write the human-facing "generated in Ns"
+            line, or None to skip it.  Kept out of the returned report so
+            identical inputs yield byte-identical artifacts.
 
     Returns:
-        The report as one string.
+        The report as one string (stable across reruns).
     """
-    started = time.time()  # qoslint: disable=QOS102 -- report footer timing: human-facing elapsed line, not part of any simulated result
+    started = time.time()  # qoslint: disable=QOS102 -- report progress timing: written to elapsed_to only, never into the artifact
     if catalog is None:
         catalog = FigureCatalog(
             sdsc=ExperimentContext.prepare(
@@ -100,8 +110,8 @@ def generate_report(
             f"  a={accuracy:3.1f}: gap={gap:.4f}  brier={score:.4f}"
         )
 
-    elapsed = time.time() - started  # qoslint: disable=QOS102 -- report footer timing: human-facing elapsed line, not part of any simulated result
-    sections.append("")
-    sections.append(f"(report generated in {elapsed:.1f}s)")
     sections.append(_RULE)
+    if elapsed_to is not None:
+        elapsed = time.time() - started  # qoslint: disable=QOS102 -- report progress timing: written to elapsed_to only, never into the artifact
+        elapsed_to.write(f"(report generated in {elapsed:.1f}s)\n")
     return "\n".join(sections)

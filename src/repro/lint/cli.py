@@ -78,6 +78,7 @@ def run_lint(
     output_format: str = "text",
     select: Optional[str] = None,
     ignore: Optional[str] = None,
+    arch: bool = False,
     stdout: Optional[TextIO] = None,
     stderr: Optional[TextIO] = None,
 ) -> int:
@@ -98,13 +99,17 @@ def run_lint(
 
         paths = [p for p in DEFAULT_PATHS if os.path.isdir(p)] or ["."]
     try:
-        findings, files_scanned = lint_paths(list(paths), config)
+        findings, files_scanned = lint_paths(list(paths), config, arch=arch)
     except (FileNotFoundError, OSError) as exc:
         print(f"probqos lint: {exc}", file=stderr)
         return 2
 
     if output_format == "json":
         render_json(findings, files_scanned, stdout)
+    elif output_format == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        render_sarif(findings, stdout)
     else:
         render_text(findings, files_scanned, stdout)
     return 1 if findings else 0

@@ -8,11 +8,18 @@ re-walking.  Import aliases are resolved up front so rules match *canonical*
 dotted names (``np.random.seed`` and ``from numpy import random`` both
 resolve to ``numpy.random.seed``).
 
+After the pattern pass, :class:`FlowRule` subclasses run once per function
+scope over a shared :class:`FunctionAnalysis` bundle — the CFG, taint, and
+interval analyses are built lazily and at most once per function, however
+many flow rules consult them.
+
 Infrastructure codes (not suppressible rules):
 
 * ``QOS000`` — the file does not parse; nothing else can be checked.
 * ``QOS001`` — a suppression comment names a code no rule owns, so it
   silences nothing while looking like it does.
+* ``QOS002`` — a suppression names a code that was checked on this run but
+  silenced no finding; the excuse has outlived the offence.
 """
 
 from __future__ import annotations
@@ -20,7 +27,18 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Type
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 from repro.lint.config import LintConfig, module_name_for
 from repro.lint.findings import Finding, LintSeverity
@@ -31,6 +49,12 @@ SYNTAX_ERROR_CODE = "QOS000"
 
 #: Code attached to suppressions naming unknown rule codes.
 UNKNOWN_SUPPRESSION_CODE = "QOS001"
+
+#: Code attached to suppressions that silenced nothing on a run where the
+#: named rule actually executed.
+UNUSED_SUPPRESSION_CODE = "QOS002"
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -47,6 +71,9 @@ class ModuleContext:
         scope_stack: Enclosing ``FunctionDef``/``ClassDef`` nodes, outermost
             first; empty at module level.  Maintained by the engine during
             traversal.
+        tree: The parsed module, for rules that need a whole-module view
+            (flow rules, module pre-passes).  None only in hand-built
+            contexts.
     """
 
     path: str
@@ -54,6 +81,19 @@ class ModuleContext:
     config: LintConfig
     aliases: Dict[str, str] = field(default_factory=dict)
     scope_stack: List[ast.AST] = field(default_factory=list)
+    tree: Optional[ast.Module] = None
+    _memo: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    def memo(self, key: str, compute: Callable[[], _T]) -> _T:
+        """Cache a module-level pre-pass under ``key``.
+
+        Flow rules share one context per file; pre-passes (async-def name
+        collection, module-level mutable bindings, ...) run once however
+        many rules ask for them.
+        """
+        if key not in self._memo:
+            self._memo[key] = compute()
+        return self._memo[key]  # type: ignore[return-value]
 
     @property
     def at_module_level(self) -> bool:
@@ -122,6 +162,77 @@ class Rule:
         )
 
 
+class FunctionAnalysis:
+    """Lazily computed flow analyses for one function scope.
+
+    One instance exists per function (or per module body, for module-level
+    flows) per lint pass; the CFG and each abstract interpretation are
+    built on first access and shared by every flow rule.  Laziness matters:
+    a run with only taint rules selected never pays for interval fixpoints.
+    """
+
+    def __init__(self, function: ast.AST, ctx: ModuleContext) -> None:
+        self.function = function
+        self.ctx = ctx
+        self._cfg: Optional[object] = None
+        self._taint: Optional[object] = None
+        self._intervals: Optional[object] = None
+
+    @property
+    def is_module(self) -> bool:
+        return isinstance(self.function, ast.Module)
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.function, ast.AsyncFunctionDef)
+
+    @property
+    def cfg(self):  # -> repro.lint.cfg.CFG
+        if self._cfg is None:
+            from repro.lint.cfg import build_cfg
+
+            self._cfg = build_cfg(self.function)
+        return self._cfg
+
+    @property
+    def taint(self):  # -> repro.lint.dataflow.TaintAnalysis
+        if self._taint is None:
+            from repro.lint.dataflow import TaintAnalysis
+
+            self._taint = TaintAnalysis(self.cfg, self.ctx)
+        return self._taint
+
+    @property
+    def intervals(self):  # -> repro.lint.intervals.IntervalAnalysis
+        if self._intervals is None:
+            from repro.lint.intervals import IntervalAnalysis
+
+            self._intervals = IntervalAnalysis(self.cfg, self.ctx)
+        return self._intervals
+
+
+class FlowRule(Rule):
+    """Base class for rules driven by per-function flow analysis.
+
+    Flow rules are not dispatched per node; after the pattern pass the
+    engine calls :meth:`check_module` once and :meth:`check_function` for
+    every function scope (including the module body, whose "function" is
+    the :class:`ast.Module` itself — module-level flows are real flows).
+    """
+
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def check_module(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_function(
+        self, analysis: FunctionAnalysis, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        return iter(())
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -152,7 +263,11 @@ def known_codes() -> FrozenSet[str]:
     """All codes a suppression may legitimately name."""
     from repro.lint import rules  # noqa: F401
 
-    return frozenset(_REGISTRY) | {SYNTAX_ERROR_CODE, UNKNOWN_SUPPRESSION_CODE}
+    return frozenset(_REGISTRY) | {
+        SYNTAX_ERROR_CODE,
+        UNKNOWN_SUPPRESSION_CODE,
+        UNUSED_SUPPRESSION_CODE,
+    }
 
 
 def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
@@ -177,11 +292,15 @@ def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
 
 
 class _Dispatcher:
-    """Single-pass traversal dispatching nodes to interested rules."""
+    """Single-pass traversal dispatching nodes to interested rules, then a
+    flow pass handing each function scope to every :class:`FlowRule`."""
 
     def __init__(self, rules: List[Rule], ctx: ModuleContext) -> None:
         self._ctx = ctx
         self._interest: Dict[Type[ast.AST], List[Rule]] = {}
+        self._flow_rules: List[FlowRule] = [
+            rule for rule in rules if isinstance(rule, FlowRule)
+        ]
         for rule in rules:
             for node_type in rule.node_types:
                 self._interest.setdefault(node_type, []).append(rule)
@@ -201,6 +320,22 @@ class _Dispatcher:
         finally:
             if opens_scope:
                 self._ctx.scope_stack.pop()
+
+    def run_flow_rules(self, tree: ast.Module) -> None:
+        if not self._flow_rules:
+            return
+        for rule in self._flow_rules:
+            self.findings.extend(rule.check_module(tree, self._ctx))
+        scopes: List[ast.AST] = [tree]
+        scopes.extend(
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            analysis = FunctionAnalysis(scope, self._ctx)
+            for rule in self._flow_rules:
+                self.findings.extend(rule.check_function(analysis, self._ctx))
 
 
 def lint_source(
@@ -233,11 +368,18 @@ def lint_source(
         module=module_name_for(path),
         config=config,
         aliases=_collect_aliases(tree),
+        tree=tree,
     )
     dispatcher = _Dispatcher(rules, ctx)
     dispatcher.traverse(tree)
+    dispatcher.run_flow_rules(tree)
 
     suppressions = SuppressionIndex.scan(source)
+    used: Set[Tuple[int, str]] = {
+        (finding.line, finding.code)
+        for finding in dispatcher.findings
+        if suppressions.is_suppressed(finding.line, finding.code)
+    }
     findings = [
         finding
         for finding in dispatcher.findings
@@ -259,6 +401,36 @@ def lint_source(
                     severity=LintSeverity.ERROR,
                 )
             )
+    if config.code_enabled(UNUSED_SUPPRESSION_CODE):
+        # Only codes a rule actually evaluated on this run count: with
+        # ``--select QOS101`` a dormant ``disable=QOS104`` is not evidence
+        # of staleness, and arch codes (checked in a separate graph pass)
+        # are never judged here.
+        checked = {
+            rule.code
+            for rule in rules
+            if (rule.node_types or isinstance(rule, FlowRule))
+            and config.code_enabled(rule.code)
+        }
+        for suppression in suppressions.suppressions:
+            for code in suppression.codes:
+                if code not in checked:
+                    continue
+                if (suppression.line, code) in used:
+                    continue
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        code=UNUSED_SUPPRESSION_CODE,
+                        message=(
+                            f"suppression of {code} matched no finding; "
+                            "remove the stale disable comment"
+                        ),
+                        severity=LintSeverity.ERROR,
+                    )
+                )
     return sorted(findings)
 
 
@@ -287,9 +459,16 @@ def iter_python_files(paths: List[str]) -> Iterator[str]:
 
 
 def lint_paths(
-    paths: List[str], config: Optional[LintConfig] = None
+    paths: List[str],
+    config: Optional[LintConfig] = None,
+    arch: bool = False,
 ) -> Tuple[List[Finding], int]:
     """Lint every Python file under ``paths``.
+
+    With ``arch=True`` the per-file pass is followed by the whole-program
+    architecture pass (QOS501 layering, QOS502 cycles) over every scanned
+    ``repro`` module; arch findings honour the same ``--select``/
+    ``--ignore`` selection and per-line suppression comments.
 
     Returns:
         ``(findings, files_scanned)`` with findings sorted by location.
@@ -298,9 +477,34 @@ def lint_paths(
     rules = all_rules()
     findings: List[Finding] = []
     scanned = 0
+    modules: Dict[str, Tuple[str, ast.Module]] = {}
+    suppressions_by_path: Dict[str, SuppressionIndex] = {}
     for filename in iter_python_files(paths):
         with open(filename, "r", encoding="utf-8") as handle:
             source = handle.read()
         findings.extend(lint_source(source, filename, config, rules))
         scanned += 1
+        if not arch:
+            continue
+        module = module_name_for(filename)
+        if not module:
+            continue
+        try:
+            tree = ast.parse(source, filename=filename)
+        except (SyntaxError, ValueError):
+            continue  # already reported as QOS000 by lint_source
+        modules[module] = (filename, tree)
+        suppressions_by_path[filename] = SuppressionIndex.scan(source)
+    if arch:
+        from repro.lint.arch import check_architecture
+
+        for finding in check_architecture(modules):
+            if not config.code_enabled(finding.code):
+                continue
+            index = suppressions_by_path.get(finding.path)
+            if index is not None and index.is_suppressed(
+                finding.line, finding.code
+            ):
+                continue
+            findings.append(finding)
     return sorted(findings), scanned

@@ -1,0 +1,392 @@
+"""Interval abstract domain for the probability-domain rule (QOS301).
+
+Every promised probability in this system must live in [0, 1]; Eq. 2
+scores against it, ``combine_independent`` assumes it, and
+``QoSGuarantee.__post_init__`` raises outside it — at runtime, mid-
+simulation.  :class:`IntervalAnalysis` evaluates what the linter can
+*prove* about an expression's numeric range from literals, probability-
+typed parameters and attributes, and arithmetic, so the boundary check
+moves from a runtime crash to a lint finding.
+
+The domain is deliberately optimistic about the unknown: anything it
+cannot bound is ``TOP`` and never reported.  Findings therefore carry a
+derivation the reader can check by hand (``p + q`` with both in [0, 1]
+can reach [0, 2]).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, TYPE_CHECKING
+
+from repro.lint.cfg import CFG, Element, assigned_names
+from repro.lint.dataflow import forward_fixpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import ModuleContext
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed numeric interval, possibly unbounded on either side."""
+
+    lo: float
+    hi: float
+
+    @property
+    def is_bounded(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ]
+        finite = [c for c in corners if not math.isnan(c)]
+        if not finite:
+            return TOP
+        return Interval(min(finite), max(finite))
+
+    def __truediv__(self, other: "Interval") -> "Interval":
+        if other.lo <= 0.0 <= other.hi:
+            return TOP
+        corners = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ]
+        finite = [c for c in corners if not math.isnan(c)]
+        if not finite:
+            return TOP
+        return Interval(min(finite), max(finite))
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def abs(self) -> "Interval":
+        if self.lo >= 0.0:
+            return self
+        if self.hi <= 0.0:
+            return -self
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def min_with(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_with(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def pow_int(self, exponent: int) -> "Interval":
+        """``self ** exponent`` for a non-negative base and int exponent."""
+        if exponent < 0 or self.lo < 0.0:
+            return TOP
+        return Interval(self.lo**exponent, self.hi**exponent)
+
+    def __repr__(self) -> str:
+        def fmt(x: float) -> str:
+            if x == _INF:
+                return "+inf"
+            if x == -_INF:
+                return "-inf"
+            return f"{x:g}"
+
+        return f"[{fmt(self.lo)}, {fmt(self.hi)}]"
+
+
+TOP = Interval(-_INF, _INF)
+UNIT = Interval(0.0, 1.0)
+
+#: Parameter names conventionally carrying probabilities in this repo.
+#: Seeding them with [0, 1] is what lets the analysis prove that ``p + q``
+#: can reach 2 — the canonical add-instead-of-combine bug.
+PROBABILITY_PARAM_NAMES = frozenset(
+    {
+        "accuracy",
+        "confidence",
+        "failure_probability",
+        "p",
+        "p_f",
+        "pf",
+        "predicted_failure_probability",
+        "prob",
+        "probability",
+    }
+)
+
+#: Attribute names that read a probability off a domain object
+#: (``offer.probability``, ``guarantee.predicted_failure_probability``).
+PROBABILITY_ATTR_NAMES = frozenset(
+    {
+        "accuracy",
+        "failure_probability",
+        "predicted_failure_probability",
+        "probability",
+    }
+)
+
+#: Calls whose return value is a probability by contract.
+PROBABILITY_RETURNING_CALLS = frozenset(
+    {
+        "best_case_probability",
+        "combine_independent",
+        "failure_probability",
+        "node_failure_probability",
+        "node_failure_term",
+        "stable_uniform",
+    }
+)
+
+#: Annotation names treated as the probability domain (``p: Probability``).
+PROBABILITY_ANNOTATIONS = frozenset({"Probability"})
+
+
+def _annotation_name(annotation: Optional[ast.expr]) -> Optional[str]:
+    if annotation is None:
+        return None
+    node = annotation
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _parameter_interval(arg: ast.arg) -> Optional[Interval]:
+    annotation = _annotation_name(arg.annotation)
+    if annotation in PROBABILITY_ANNOTATIONS:
+        return UNIT
+    if arg.arg in PROBABILITY_PARAM_NAMES and annotation in (None, "float"):
+        return UNIT
+    return None
+
+
+class IntervalAnalysis:
+    """Forward interval analysis over one function-like body."""
+
+    def __init__(self, cfg: CFG, ctx: "ModuleContext") -> None:
+        self._ctx = ctx
+        self.cfg = cfg
+        self.before = forward_fixpoint(
+            cfg,
+            self._parameter_env(),
+            self._transfer,
+            _join,
+            _equal,
+            widen=_widen,
+        )
+
+    def _parameter_env(self) -> Dict[str, object]:
+        env: Dict[str, object] = {}
+        function = self.cfg.function
+        if isinstance(function, ast.Module):
+            return env
+        args = function.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            interval = _parameter_interval(arg)
+            if interval is not None:
+                env[arg.arg] = interval
+        return env
+
+    def env_before(self, node: ast.stmt) -> Optional[Dict[str, Interval]]:
+        return self.before.get(id(node))  # type: ignore[return-value]
+
+    # -- expression evaluation ----------------------------------------------
+
+    def interval_of(
+        self, expr: Optional[ast.expr], env: Dict[str, Interval]
+    ) -> Interval:
+        if expr is None:
+            return TOP
+        return self._eval(expr, env)
+
+    def _eval(self, expr: ast.expr, env: Dict[str, Interval]) -> Interval:
+        if isinstance(expr, ast.Constant):
+            value = expr.value
+            if isinstance(value, bool):
+                return Interval(float(value), float(value))
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                return Interval(float(value), float(value))
+            return TOP
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, TOP)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval(expr.operand, env)
+            if isinstance(expr.op, ast.USub):
+                return -operand
+            if isinstance(expr.op, ast.UAdd):
+                return operand
+            if isinstance(expr.op, ast.Not):
+                return Interval(0.0, 1.0)
+            return TOP
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            if isinstance(expr.op, ast.Add):
+                return left + right
+            if isinstance(expr.op, ast.Sub):
+                return left - right
+            if isinstance(expr.op, ast.Mult):
+                return left * right
+            if isinstance(expr.op, ast.Div):
+                return left / right
+            if isinstance(expr.op, ast.Pow):
+                if (
+                    isinstance(expr.right, ast.Constant)
+                    and isinstance(expr.right.value, int)
+                    and not isinstance(expr.right.value, bool)
+                ):
+                    return left.pow_int(expr.right.value)
+                return TOP
+            return TOP
+        if isinstance(expr, ast.IfExp):
+            return self._eval(expr.body, env).hull(
+                self._eval(expr.orelse, env)
+            )
+        if isinstance(expr, ast.BoolOp):
+            out = self._eval(expr.values[0], env)
+            for value in expr.values[1:]:
+                out = out.hull(self._eval(value, env))
+            return out
+        if isinstance(expr, ast.Compare):
+            return Interval(0.0, 1.0)  # bool
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in PROBABILITY_ATTR_NAMES:
+                return UNIT
+            return TOP
+        if isinstance(expr, ast.NamedExpr):
+            return self._eval(expr.value, env)
+        return TOP
+
+    def _eval_call(self, expr: ast.Call, env: Dict[str, Interval]) -> Interval:
+        func = expr.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        arg_intervals = [self._eval(arg, env) for arg in expr.args]
+        if name == "min" and arg_intervals:
+            out = arg_intervals[0]
+            for interval in arg_intervals[1:]:
+                out = out.min_with(interval)
+            return out
+        if name == "max" and arg_intervals:
+            out = arg_intervals[0]
+            for interval in arg_intervals[1:]:
+                out = out.max_with(interval)
+            return out
+        if name == "abs" and len(arg_intervals) == 1:
+            return arg_intervals[0].abs()
+        if name == "float" and len(arg_intervals) == 1:
+            return arg_intervals[0]
+        if name in PROBABILITY_RETURNING_CALLS:
+            return UNIT
+        return TOP
+
+    # -- transfer ------------------------------------------------------------
+
+    def _transfer(
+        self, element: Element, env: Dict[str, object]
+    ) -> Dict[str, object]:
+        ienv: Dict[str, Interval] = env  # type: ignore[assignment]
+        node = element.node
+        out = dict(ienv)
+        if element.header:
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                for name, _ in assigned_names(node.target):
+                    out[name] = TOP
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for name, _ in assigned_names(item.optional_vars):
+                            out[name] = TOP
+            return out
+        if isinstance(node, ast.Assign):
+            value = self._eval(node.value, ienv)
+            for target in node.targets:
+                for name, _ in assigned_names(target):
+                    out[name] = value
+            return out
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if node.value is not None:
+                out[node.target.id] = self._eval(node.value, ienv)
+            elif _annotation_name(node.annotation) in PROBABILITY_ANNOTATIONS:
+                out[node.target.id] = UNIT
+            return out
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            current = ienv.get(node.target.id, TOP)
+            value = self._eval(node.value, ienv)
+            if isinstance(node.op, ast.Add):
+                out[node.target.id] = current + value
+            elif isinstance(node.op, ast.Sub):
+                out[node.target.id] = current - value
+            elif isinstance(node.op, ast.Mult):
+                out[node.target.id] = current * value
+            elif isinstance(node.op, ast.Div):
+                out[node.target.id] = current / value
+            else:
+                out[node.target.id] = TOP
+            return out
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.pop(target.id, None)
+            return out
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            out.pop(node.name, None)
+            return out
+        return out
+
+
+def _join(a: Dict[str, object], b: Dict[str, object]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for name in set(a) | set(b):
+        ia = a.get(name, TOP)
+        ib = b.get(name, TOP)
+        out[name] = ia.hull(ib)  # type: ignore[union-attr]
+    return out
+
+
+def _equal(a: Dict[str, object], b: Dict[str, object]) -> bool:
+    return a == b
+
+
+def _widen(old: Dict[str, object], new: Dict[str, object]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for name in set(old) | set(new):
+        io: Interval = old.get(name, TOP)  # type: ignore[assignment]
+        ni: Interval = new.get(name, TOP)  # type: ignore[assignment]
+        lo = ni.lo if ni.lo >= io.lo else -_INF
+        hi = ni.hi if ni.hi <= io.hi else _INF
+        out[name] = Interval(lo, hi)
+    return out

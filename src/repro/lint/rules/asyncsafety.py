@@ -1,0 +1,288 @@
+"""QOS401–QOS403 — async-safety for coroutine-based drivers.
+
+The simulator core is synchronous, but experiment drivers and future
+streaming-audit frontends run under an event loop of the *host* kind.
+Three failure modes recur in such code:
+
+* **QOS401** — a blocking call (``time.sleep``, ``subprocess.run``...)
+  inside ``async def`` stalls every coroutine sharing the loop; the bug
+  shows up as mysterious latency, never as an error.
+* **QOS402** — module-level mutable state mutated from a coroutine is a
+  data race the moment two tasks interleave at an ``await``, and a
+  replay-determinism hole even when they do not.
+* **QOS403** — calling a coroutine function without ``await`` creates a
+  coroutine object and silently discards it; the body never runs.
+  CPython warns at garbage-collection time, long after the evidence is
+  gone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Set
+
+from repro.lint.cfg import assigned_names, element_expressions
+from repro.lint.engine import (
+    FlowRule,
+    FunctionAnalysis,
+    ModuleContext,
+    register,
+)
+from repro.lint.findings import Finding, LintSeverity
+
+#: Canonical dotted names that block the calling thread.
+_BLOCKING_CALLS = frozenset(
+    {
+        "os.system",
+        "socket.create_connection",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.run",
+        "time.sleep",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Prefixes of request-style libraries that are synchronous by design.
+_BLOCKING_PREFIXES = ("requests.",)
+
+#: Constructors whose result is module-level mutable state when bound at
+#: module scope.
+_MUTABLE_CTORS = frozenset(
+    {"Counter", "OrderedDict", "defaultdict", "deque", "dict", "list", "set"}
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def _is_mutable_literal(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(value, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _module_mutables(tree: ast.Module) -> Dict[str, int]:
+    """Module-level names bound to mutable containers → defining line."""
+    out: Dict[str, int] = {}
+    for statement in tree.body:
+        targets = []
+        value = None
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value:
+            targets = [statement.target]
+            value = statement.value
+        if value is None or not _is_mutable_literal(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = statement.lineno
+    return out
+
+
+def _async_def_names(tree: ast.Module) -> FrozenSet[str]:
+    return frozenset(
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.AsyncFunctionDef)
+    )
+
+
+def _local_bindings(function: ast.AST) -> Set[str]:
+    """Names bound inside the function (params, assignments, loops...)."""
+    bound: Set[str] = set()
+    args = function.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                # Binding occurrences only: ``x[k] = v`` mutates x, it
+                # does not rebind it.
+                bound.update(name for name, _ in assigned_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bound.update(name for name, _ in assigned_names(node.target))
+        elif isinstance(node, ast.Global):
+            bound.difference_update(node.names)
+    return bound
+
+
+@register
+class BlockingInAsyncRule(FlowRule):
+    code = "QOS401"
+    name = "async-blocking"
+    rationale = (
+        "a blocking call inside async def stalls the whole event loop; "
+        "use the asyncio equivalent or run_in_executor"
+    )
+    severity = LintSeverity.ERROR
+
+    def check_function(
+        self, analysis: FunctionAnalysis, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if not analysis.is_async:
+            return
+        for element in analysis.cfg.elements():
+            for expr in element_expressions(element):
+                for node in ast.walk(expr):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    qualified = ctx.qualified_name(node.func)
+                    if qualified is None:
+                        continue
+                    if qualified in _BLOCKING_CALLS or qualified.startswith(
+                        _BLOCKING_PREFIXES
+                    ):
+                        yield self.finding(
+                            node,
+                            ctx,
+                            f"blocking call {qualified}() inside async def "
+                            f"{analysis.function.name}(); it stalls every "
+                            "coroutine on the loop (use the asyncio "
+                            "equivalent or run_in_executor)",
+                        )
+
+
+@register
+class CoroutineMutatesModuleStateRule(FlowRule):
+    code = "QOS402"
+    name = "async-module-state"
+    rationale = (
+        "module-level mutable state touched from a coroutine races at "
+        "every await and breaks replay determinism"
+    )
+    severity = LintSeverity.ERROR
+
+    def check_function(
+        self, analysis: FunctionAnalysis, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if not analysis.is_async or not ctx.in_library or ctx.tree is None:
+            return
+        mutables = ctx.memo(
+            "module-mutables", lambda: _module_mutables(ctx.tree)
+        )
+        if not mutables:
+            return
+        function = analysis.function
+        local = _local_bindings(function)
+        shared = {
+            name: line
+            for name, line in mutables.items()
+            if name not in local
+        }
+        if not shared:
+            return
+        for node in ast.walk(function):
+            name = self._mutated_name(node)
+            if name is not None and name in shared:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"coroutine {function.name}() mutates module-level "
+                    f"{name} (defined at line {shared[name]}); pass state "
+                    "explicitly or guard it with a lock",
+                )
+
+    @staticmethod
+    def _mutated_name(node: ast.AST) -> str:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and isinstance(func.value, ast.Name)
+            ):
+                return func.value.id
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    return target.value.id
+        return ""
+
+
+@register
+class UnawaitedCoroutineRule(FlowRule):
+    code = "QOS403"
+    name = "unawaited-coroutine"
+    rationale = (
+        "calling a coroutine function without await builds a coroutine "
+        "object and throws it away; the body never runs"
+    )
+    severity = LintSeverity.ERROR
+
+    def check_function(
+        self, analysis: FunctionAnalysis, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if ctx.tree is None:
+            return
+        names = ctx.memo("async-defs", lambda: _async_def_names(ctx.tree))
+        if not names:
+            return
+        for element in analysis.cfg.elements():
+            node = element.node
+            if element.header or not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            called = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if called in names:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"coroutine {called}(...) is called but never awaited; "
+                    "the call only builds a coroutine object (await it or "
+                    "hand it to asyncio.create_task)",
+                )

@@ -1,0 +1,300 @@
+"""QOS201–QOS203 — nondeterminism taint reaching simulation state by flow.
+
+The QOS1xx pattern rules catch the *call site* (``time.time()`` in library
+code, iterating a set literal).  These rules catch the *journey*: a banned
+value laundered through assignments, arithmetic, and containers before it
+lands somewhere the simulation can see it.  Sinks are the places a value
+becomes part of a trajectory — ``EventLoop.schedule``/``schedule_in``
+arguments, ``Event(...)`` construction, ``self.attr = ...`` in a sim-layer
+class, and sim-layer ``return`` values.
+
+Each rule reports at the sink and names the origin line, and only fires
+when origin and sink are *different* statements — a direct use on one line
+is the pattern rules' jurisdiction, and reporting it twice would teach
+people to read findings as noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.cfg import Element, element_expressions
+from repro.lint.dataflow import (
+    GLOBAL_RNG,
+    Taint,
+    TaintSet,
+    UNORDERED,
+    WALL_CLOCK,
+    taints_with_label,
+)
+from repro.lint.engine import (
+    FlowRule,
+    FunctionAnalysis,
+    ModuleContext,
+    register,
+)
+from repro.lint.findings import Finding, LintSeverity
+
+#: Canonical name of the event constructor (a sink: payloads become state).
+_EVENT_CTOR = "repro.sim.events.Event"
+
+#: EventLoop scheduling methods; every argument becomes simulation input.
+_SCHEDULE_METHODS = frozenset({"schedule", "schedule_in"})
+
+#: Materializers that freeze an iterable's order into a sequence.
+_MATERIALIZERS = frozenset({"list", "tuple"})
+
+
+def _iter_reachable(
+    analysis: FunctionAnalysis,
+) -> Iterator[Tuple[Element, dict]]:
+    """Elements of the function paired with the taint env before each."""
+    taint = analysis.taint
+    for element in analysis.cfg.elements():
+        env = taint.before.get(id(element.node))
+        if env is not None:
+            yield element, env
+
+
+def _calls_in(element: Element) -> Iterator[ast.Call]:
+    for expr in element_expressions(element):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+def _call_arguments(call: ast.Call) -> Iterator[ast.expr]:
+    for arg in call.args:
+        yield arg.value if isinstance(arg, ast.Starred) else arg
+    for keyword in call.keywords:
+        yield keyword.value
+
+
+def _is_self_attribute(target: ast.expr) -> bool:
+    return (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    )
+
+
+class _TaintSinkRule(FlowRule):
+    """Shared sink walk for the sticky-label flow rules (201/202)."""
+
+    #: The taint label this rule polices.
+    label: str = ""
+    #: Short phrase naming the contamination in messages.
+    noun: str = ""
+
+    severity = LintSeverity.ERROR
+
+    def _state_sinks_apply(self, ctx: ModuleContext) -> bool:
+        """Whether return/attribute sinks are policed in this module.
+
+        Scheduling sinks are policed across the whole library, but a
+        tainted return or attribute is only a defect where the module's
+        outputs are part of the reproducibility contract — everywhere
+        except the layers exempted for this label (repro.obs measures
+        wall time by design; repro.sim.rng wraps the RNG by design).
+        """
+        raise NotImplementedError
+
+    def check_function(
+        self, analysis: FunctionAnalysis, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if not ctx.in_library:
+            return
+        taint = analysis.taint
+        state_sinks = self._state_sinks_apply(ctx)
+        for element, env in _iter_reachable(analysis):
+            node = element.node
+            for call in _calls_in(element):
+                sink = self._call_sink(call, ctx)
+                if sink is None:
+                    continue
+                merged: TaintSet = frozenset()
+                for arg in _call_arguments(call):
+                    merged |= taint.taint_of(arg, env)
+                yield from self._report(merged, call, sink, ctx)
+            if element.header or not state_sinks:
+                continue
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if _is_self_attribute(target):
+                        yield from self._report(
+                            taint.taint_of(node.value, env),
+                            node,
+                            f"instance state self.{target.attr}",
+                            ctx,
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_self_attribute(node.target):
+                    yield from self._report(
+                        taint.taint_of(node.value, env),
+                        node,
+                        f"instance state self.{node.target.attr}",
+                        ctx,
+                    )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                yield from self._report(
+                    taint.taint_of(node.value, env),
+                    node,
+                    "a library return value",
+                    ctx,
+                )
+
+    def _call_sink(
+        self, call: ast.Call, ctx: ModuleContext
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _SCHEDULE_METHODS:
+            return f"event-loop {func.attr}()"
+        if ctx.qualified_name(func) == _EVENT_CTOR:
+            return "Event(...) construction"
+        return None
+
+    def _report(
+        self,
+        taints: TaintSet,
+        sink_node: ast.AST,
+        sink: str,
+        ctx: ModuleContext,
+    ) -> Iterator[Finding]:
+        sink_line = getattr(sink_node, "lineno", 0)
+        hits = [
+            t
+            for t in taints_with_label(taints, self.label)
+            if t.line != sink_line
+        ]
+        if not hits:
+            return
+        origin = hits[0]
+        yield self.finding(
+            sink_node,
+            ctx,
+            f"{self.noun} value (from {origin.origin} at line "
+            f"{origin.line}) flows into {sink}; reproducible library "
+            f"outputs must not depend on {self.noun} data",
+        )
+
+
+@register
+class WallClockFlowRule(_TaintSinkRule):
+    code = "QOS201"
+    name = "flow-wall-clock"
+    rationale = (
+        "a wall-clock read laundered through variables still couples the "
+        "trajectory to the host machine; taint is tracked to the sink"
+    )
+    label = WALL_CLOCK
+    noun = "wall-clock-derived"
+
+    def _state_sinks_apply(self, ctx: ModuleContext) -> bool:
+        return not ctx.config.is_wallclock_exempt(ctx.module)
+
+
+@register
+class GlobalRngFlowRule(_TaintSinkRule):
+    code = "QOS202"
+    name = "flow-global-rng"
+    rationale = (
+        "a draw from the process-global RNG stays nondeterministic however "
+        "many assignments it passes through before reaching sim state"
+    )
+    label = GLOBAL_RNG
+    noun = "global-RNG-derived"
+
+    def _state_sinks_apply(self, ctx: ModuleContext) -> bool:
+        return ctx.module != ctx.config.rng_module
+
+
+@register
+class UnorderedFlowRule(FlowRule):
+    """QOS203 — unordered-container order frozen into sim results by flow.
+
+    QOS103 flags iterating a *syntactic* set; this rule follows the
+    variable: ``pending = set(...)`` ... ``for job in pending`` three
+    functions of straight-line code later, or ``list(pending)`` freezing
+    the accidental order into a sequence.  UNORDERED taint is fragile
+    (see :mod:`repro.lint.dataflow`), so surviving to a sink means no
+    ``sorted(...)`` intervened.
+    """
+
+    code = "QOS203"
+    name = "flow-unordered"
+    rationale = (
+        "iterating or materializing a set-valued variable bakes accidental "
+        "hash order into results; only sorted(...) launders it"
+    )
+    severity = LintSeverity.ERROR
+
+    def check_function(
+        self, analysis: FunctionAnalysis, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if not ctx.in_sim_layer:
+            return
+        taint = analysis.taint
+        for element, env in _iter_reachable(analysis):
+            node = element.node
+            if element.header and isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._report(
+                    taint.taint_of(node.iter, env),
+                    node.iter,
+                    "a for-loop iteration",
+                    ctx,
+                    same_line_ok=False,
+                )
+                continue
+            if element.header:
+                continue
+            for call in _calls_in(element):
+                func = call.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _MATERIALIZERS
+                    and len(call.args) == 1
+                    and not isinstance(call.args[0], ast.Starred)
+                ):
+                    # list(set(...)) on one line is still a bug QOS103
+                    # cannot see, so same-line origins count here.
+                    yield from self._report(
+                        taint.taint_of(call.args[0], env),
+                        call,
+                        f"{func.id}(...) materialization",
+                        ctx,
+                        same_line_ok=True,
+                    )
+            if isinstance(node, ast.Return) and node.value is not None:
+                yield from self._report(
+                    taint.taint_of(node.value, env),
+                    node,
+                    "a sim-layer return value",
+                    ctx,
+                    same_line_ok=False,
+                )
+
+    def _report(
+        self,
+        taints: TaintSet,
+        sink_node: ast.AST,
+        sink: str,
+        ctx: ModuleContext,
+        same_line_ok: bool,
+    ) -> Iterator[Finding]:
+        sink_line = getattr(sink_node, "lineno", 0)
+        hits: List[Taint] = [
+            t
+            for t in taints_with_label(taints, UNORDERED)
+            if same_line_ok or t.line != sink_line
+        ]
+        if not hits:
+            return
+        origin = hits[0]
+        yield self.finding(
+            sink_node,
+            ctx,
+            f"unordered collection ({origin.origin} at line {origin.line}) "
+            f"reaches {sink} in a sim layer; wrap it in sorted(...) before "
+            "the order can leak into results",
+        )

@@ -1,0 +1,238 @@
+"""QOS301–QOS302 — probability-domain and time-unit discipline by flow.
+
+Every promise this system makes is a number in [0, 1] (Eq. 2 scores
+against it; ``QoSGuarantee.__post_init__`` raises outside it — at runtime,
+mid-simulation, after hours of work).  QOS301 runs an interval analysis
+(:mod:`repro.lint.intervals`) over each function and flags expressions
+that *provably* can leave the unit interval before reaching a probability
+parameter: ``p + q`` where both are probabilities reaches 2, the canonical
+add-instead-of-``combine_independent`` bug.
+
+QOS302 polices the two-clock contract declared by
+:mod:`repro.sim.units`: a value carrying ``WALL_SECONDS`` taint (host
+clock) must never reach a ``SimSeconds``-annotated parameter — the event
+loop's timeline, ``Event.time`` — and vice versa.  Both directions are
+unit errors a type checker cannot see, because both aliases erase to
+``float``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.cfg import Element, element_expressions
+from repro.lint.dataflow import (
+    SIM_SECONDS,
+    WALL_SECONDS,
+    _annotation_unit,
+    taints_with_label,
+)
+from repro.lint.engine import (
+    FlowRule,
+    FunctionAnalysis,
+    ModuleContext,
+    register,
+)
+from repro.lint.findings import Finding, LintSeverity
+from repro.lint.intervals import (
+    PROBABILITY_ANNOTATIONS,
+    PROBABILITY_PARAM_NAMES,
+    Interval,
+)
+
+#: Keyword names checked at every call site: passing one is a declaration
+#: that the argument is a probability.
+_PROB_KEYWORDS = PROBABILITY_PARAM_NAMES
+
+
+def _out_of_unit(interval: Interval) -> bool:
+    """A *provable* escape from [0, 1]: both bounds known, one outside."""
+    return interval.is_bounded and (interval.hi > 1.0 or interval.lo < 0.0)
+
+
+def _calls_in(element: Element) -> Iterator[ast.Call]:
+    for expr in element_expressions(element):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+@register
+class ProbabilityDomainRule(FlowRule):
+    code = "QOS301"
+    name = "probability-domain"
+    rationale = (
+        "a value provably outside [0, 1] passed as a probability is a "
+        "domain error the interval analysis can prove before runtime"
+    )
+    severity = LintSeverity.ERROR
+
+    def check_function(
+        self, analysis: FunctionAnalysis, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if not ctx.in_library:
+            return
+        intervals = analysis.intervals
+        for element in analysis.cfg.elements():
+            env = intervals.before.get(id(element.node))
+            if env is None:
+                continue
+            node = element.node
+            for call in _calls_in(element):
+                for keyword in call.keywords:
+                    if keyword.arg not in _PROB_KEYWORDS:
+                        continue
+                    value = intervals.interval_of(keyword.value, env)
+                    if _out_of_unit(value):
+                        yield self.finding(
+                            keyword.value,
+                            ctx,
+                            f"probability argument {keyword.arg}= can reach "
+                            f"{value}, outside [0, 1]; combine probabilities "
+                            "with combine_independent(...) or clamp "
+                            "explicitly",
+                        )
+            if (
+                not element.header
+                and isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and _annotation_name(node.annotation)
+                in PROBABILITY_ANNOTATIONS
+            ):
+                value = intervals.interval_of(node.value, env)
+                if _out_of_unit(value):
+                    yield self.finding(
+                        node,
+                        ctx,
+                        f"value annotated Probability can reach {value}, "
+                        "outside [0, 1]",
+                    )
+
+
+def _annotation_name(annotation: Optional[ast.expr]) -> Optional[str]:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return annotation.value
+    return None
+
+
+#: Known unit-annotated API boundaries: method/ctor name → parameter name
+#: and position (after ``self``) → expected unit label.
+_KNOWN_UNIT_SINKS: Dict[str, Dict[object, str]] = {
+    "schedule": {"time": SIM_SECONDS, 0: SIM_SECONDS},
+    "schedule_in": {"delay": SIM_SECONDS, 0: SIM_SECONDS},
+    "Event": {"time": SIM_SECONDS, 0: SIM_SECONDS},
+}
+
+_UNIT_WORDS = {SIM_SECONDS: "simulated-time", WALL_SECONDS: "wall-time"}
+_OTHER_UNIT = {SIM_SECONDS: WALL_SECONDS, WALL_SECONDS: SIM_SECONDS}
+
+
+def _local_unit_signatures(tree: ast.Module) -> Dict[str, Dict[object, str]]:
+    """Unit-annotated parameters of functions defined in this module.
+
+    Maps function name → {param name and position: unit label}, position
+    counted after a leading ``self``/``cls`` so method calls line up.
+    """
+    out: Dict[str, Dict[object, str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params: Dict[object, str] = {}
+        args = list(node.args.posonlyargs) + list(node.args.args)
+        if args and args[0].arg in ("self", "cls"):
+            args = args[1:]
+        for position, arg in enumerate(args):
+            unit = _annotation_unit(arg.annotation)
+            if unit is not None:
+                params[arg.arg] = unit
+                params[position] = unit
+        for arg in node.args.kwonlyargs:
+            unit = _annotation_unit(arg.annotation)
+            if unit is not None:
+                params[arg.arg] = unit
+        if params:
+            out[node.name] = params
+    return out
+
+
+@register
+class TimeUnitsRule(FlowRule):
+    code = "QOS302"
+    name = "time-units"
+    rationale = (
+        "SimSeconds and WallSeconds both erase to float; only taint "
+        "tracking catches a host-clock duration scheduled as sim time"
+    )
+    severity = LintSeverity.ERROR
+
+    def check_function(
+        self, analysis: FunctionAnalysis, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if not ctx.in_library or ctx.tree is None:
+            return
+        local = ctx.memo(
+            "unit-signatures", lambda: _local_unit_signatures(ctx.tree)
+        )
+        taint = analysis.taint
+        for element in analysis.cfg.elements():
+            env = taint.before.get(id(element.node))
+            if env is None:
+                continue
+            for call in _calls_in(element):
+                signature = self._signature_for(call, local)
+                if signature is None:
+                    continue
+                for expected, argument in self._bound_args(call, signature):
+                    wrong = _OTHER_UNIT[expected]
+                    hits = taints_with_label(
+                        taint.taint_of(argument, env), wrong
+                    )
+                    if not hits:
+                        continue
+                    origin = hits[0]
+                    yield self.finding(
+                        argument,
+                        ctx,
+                        f"{_UNIT_WORDS[wrong]} value ({origin.origin} at "
+                        f"line {origin.line}) passed where "
+                        f"{_UNIT_WORDS[expected]} seconds are expected; "
+                        "convert explicitly or keep the clocks apart",
+                    )
+
+    def _signature_for(
+        self, call: ast.Call, local: Dict[str, Dict[object, str]]
+    ) -> Optional[Dict[object, str]]:
+        func = call.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name is None:
+            return None
+        if name in _KNOWN_UNIT_SINKS:
+            return _KNOWN_UNIT_SINKS[name]
+        return local.get(name)
+
+    def _bound_args(
+        self, call: ast.Call, signature: Dict[object, str]
+    ) -> Iterator[Tuple[str, ast.expr]]:
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            if position in signature:
+                yield signature[position], arg
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in signature:
+                yield signature[keyword.arg], keyword.value

@@ -14,64 +14,13 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.banned import (
+    NUMPY_EXPLICIT_RNG as NUMPY_EXPLICIT,
+    STDLIB_GLOBAL_RNG_FUNCTIONS as STDLIB_GLOBAL_FUNCTIONS,
+    is_global_rng as _banned,
+)
 from repro.lint.engine import ModuleContext, Rule, register
 from repro.lint.findings import Finding, LintSeverity
-
-#: ``random.<name>`` module-level functions that read or mutate the hidden
-#: global Mersenne Twister.
-STDLIB_GLOBAL_FUNCTIONS = frozenset(
-    {
-        "betavariate",
-        "choice",
-        "choices",
-        "expovariate",
-        "gammavariate",
-        "gauss",
-        "getrandbits",
-        "getstate",
-        "lognormvariate",
-        "normalvariate",
-        "paretovariate",
-        "randbytes",
-        "randint",
-        "random",
-        "randrange",
-        "sample",
-        "seed",
-        "setstate",
-        "shuffle",
-        "triangular",
-        "uniform",
-        "vonmisesvariate",
-        "weibullvariate",
-    }
-)
-
-#: ``numpy.random`` attributes that do NOT touch the legacy global state:
-#: explicit generator/bit-generator constructors and seed plumbing.
-NUMPY_EXPLICIT = frozenset(
-    {
-        "BitGenerator",
-        "Generator",
-        "MT19937",
-        "PCG64",
-        "PCG64DXSM",
-        "Philox",
-        "RandomState",
-        "SFC64",
-        "SeedSequence",
-        "default_rng",
-    }
-)
-
-
-def _banned(qualified: str) -> bool:
-    if qualified.startswith("random."):
-        return qualified[len("random.") :] in STDLIB_GLOBAL_FUNCTIONS
-    if qualified.startswith("numpy.random."):
-        rest = qualified[len("numpy.random.") :]
-        return "." not in rest and rest not in NUMPY_EXPLICIT
-    return False
 
 
 @register

@@ -1,0 +1,135 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS standard
+code-scanning tools speak to CI platforms; GitHub's code-scanning UI
+ingests it directly, so ``probqos lint --format sarif`` plus one upload
+step puts QOS findings inline on pull requests.
+
+The document is deliberately minimal but valid: one run, one driver, the
+full rule metadata (so the UI can show each rule's rationale without a
+round-trip to the repo), and one result per finding.  Output is fully
+deterministic — keys are sorted and nothing derived from the clock or the
+environment enters the document — so the artifact diffs cleanly between
+runs, which is how regressions are meant to be spotted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO
+
+from repro.lint.findings import Finding, LintSeverity
+
+#: The SARIF spec version emitted (and the schema URI advertising it).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Tool identity in the ``driver`` block.
+TOOL_NAME = "probqos-lint"
+TOOL_INFO_URI = "https://example.invalid/probqos"
+
+
+def _sarif_level(severity: LintSeverity) -> str:
+    return "error" if severity is LintSeverity.ERROR else "warning"
+
+
+def _rule_metadata() -> List[Dict[str, object]]:
+    """``reportingDescriptor`` entries for every registered rule.
+
+    Includes the infrastructure codes (QOS000-QOS002) so results citing
+    them always resolve to a descriptor, as the spec requires.
+    """
+    from repro.lint.engine import (
+        SYNTAX_ERROR_CODE,
+        UNKNOWN_SUPPRESSION_CODE,
+        UNUSED_SUPPRESSION_CODE,
+        all_rules,
+    )
+
+    infrastructure = {
+        SYNTAX_ERROR_CODE: "file does not parse; nothing can be checked",
+        UNKNOWN_SUPPRESSION_CODE: "suppression names a code no rule owns",
+        UNUSED_SUPPRESSION_CODE: "suppression silenced no finding this run",
+    }
+    descriptors: List[Dict[str, object]] = []
+    for code, text in sorted(infrastructure.items()):
+        descriptors.append(
+            {
+                "id": code,
+                "name": code,
+                "shortDescription": {"text": text},
+            }
+        )
+    for rule in all_rules():
+        descriptors.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {
+                    "level": _sarif_level(rule.severity)
+                },
+            }
+        )
+    return descriptors
+
+
+def to_sarif(findings: List[Finding]) -> Dict[str, object]:
+    """The findings as one SARIF 2.1.0 document (a plain dict)."""
+    rule_ids = [d["id"] for d in _rule_metadata()]
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.code,
+                "ruleIndex": rule_ids.index(finding.code)
+                if finding.code in rule_ids
+                else -1,
+                "level": _sarif_level(finding.severity),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                # SARIF columns are 1-based.
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_INFO_URI,
+                        "rules": _rule_metadata(),
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: List[Finding], stream: TextIO) -> None:
+    """Serialise the findings as SARIF JSON to ``stream``."""
+    json.dump(to_sarif(findings), stream, indent=2, sort_keys=True)
+    stream.write("\n")

@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -33,6 +36,16 @@ class PredictedFailure:
     node: int
     probability: float
 
+    def __post_init__(self) -> None:
+        # The [0, 1] domain is the contract every consumer (negotiation,
+        # checkpointing, the QOS301 interval analysis) assumes; enforce it
+        # where the prediction enters the system.
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"predicted failure probability {self.probability} "
+                "not in [0, 1]"
+            )
+
 
 class Predictor(abc.ABC):
     """Estimates failure probabilities for node sets over time windows."""
@@ -45,7 +58,7 @@ class Predictor(abc.ABC):
     #: (``prediction.<component>.*``); overridden by subclasses.
     _obs_component = "base"
 
-    def bind_registry(self, registry) -> None:
+    def bind_registry(self, registry: "MetricsRegistry") -> None:
         """Attach a :class:`~repro.obs.registry.MetricsRegistry`.
 
         Queries and positive predictions are counted under

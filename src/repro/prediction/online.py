@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.failures.events import RawEvent
 from repro.prediction.base import (
@@ -34,6 +34,9 @@ from repro.prediction.base import (
     combine_independent,
 )
 from repro.prediction.health import EventWindowIndex, HealthModel
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -99,7 +102,7 @@ class OnlinePredictor(Predictor):
         self._health = health
         self._config = config if config is not None else OnlinePredictorConfig()
 
-    def bind_registry(self, registry) -> None:
+    def bind_registry(self, registry: "MetricsRegistry") -> None:
         super().bind_registry(registry)
         self._c_alarms = registry.counter("prediction.online.alarms")
 

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.obs.registry import NULL_REGISTRY, Counter, Histogram, MetricsRegistry
 from repro.sim.calendar_queue import EVENT_QUEUE_KINDS, EventQueue, make_event_queue
 from repro.sim.events import Event, EventKind
+from repro.sim.units import SimSeconds
 
 Handler = Callable[[Event], None]
 
@@ -100,7 +101,7 @@ class EventLoop:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def now(self) -> float:
+    def now(self) -> SimSeconds:
         """Current simulated time (seconds)."""
         return self._now
 
@@ -143,7 +144,9 @@ class EventLoop:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, time: float, kind: EventKind, **payload: Any) -> Event:
+    def schedule(
+        self, time: SimSeconds, kind: EventKind, **payload: Any
+    ) -> Event:
         """Schedule an event at absolute simulated ``time``.
 
         Args:
@@ -173,7 +176,9 @@ class EventLoop:
         self._queue.push(event)
         return event
 
-    def schedule_in(self, delay: float, kind: EventKind, **payload: Any) -> Event:
+    def schedule_in(
+        self, delay: SimSeconds, kind: EventKind, **payload: Any
+    ) -> Event:
         """Schedule an event ``delay`` seconds after the current time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for {kind.value}")

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from repro.sim.units import SimSeconds
+
 
 class EventKind(enum.Enum):
     """The kinds of events the cluster simulator processes."""
@@ -102,7 +104,7 @@ class Event:
             popped rather than removed from the heap.
     """
 
-    time: float
+    time: SimSeconds
     kind: EventKind
     payload: Dict[str, Any] = field(default_factory=dict)
     seq: int = 0

@@ -1,0 +1,34 @@
+"""Time-domain and probability type aliases for lint-visible signatures.
+
+The simulator runs on two clocks that must never mix: *simulated* seconds
+(the ``EventLoop``'s virtual timeline, what every deadline, MTBF, and
+checkpoint interval is denominated in) and *wall* seconds (host time, which
+only the observability layer may read).  Both are ``float`` at runtime —
+these aliases cost nothing and change no behaviour — but annotating an API
+boundary with :data:`SimSeconds` or :data:`WallSeconds` declares which
+clock it belongs to, and the flow linter (rule QOS302) propagates that
+declaration through assignments to flag a wall-clock duration flowing into
+a simulated-time parameter, or vice versa.
+
+:data:`Probability` plays the same role for the [0, 1] domain: parameters
+and attributes annotated with it are seeded to [0, 1] by the interval
+analysis behind rule QOS301, which then flags arithmetic that can provably
+leave the unit interval before reaching ``combine_independent`` or a
+``QoSGuarantee``.
+
+Use the alias at API boundaries (signatures, dataclass fields); local
+variables pick the domain up by flow, not by annotation.
+"""
+
+from __future__ import annotations
+
+#: A duration or timestamp on the simulator's virtual clock.
+SimSeconds = float
+
+#: A duration or timestamp on the host's real clock (repro.obs territory).
+WallSeconds = float
+
+#: A value contractually confined to the closed unit interval [0, 1].
+Probability = float
+
+__all__ = ["SimSeconds", "WallSeconds", "Probability"]

@@ -61,3 +61,31 @@ class TestDeadlineOffer:
         )
         assert offer.deadline - offer.start == 100.0
         assert offer.probability + offer.failure_probability == pytest.approx(1.0)
+
+    def test_rejects_probability_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            DeadlineOffer(
+                start=10.0,
+                nodes=(1,),
+                deadline=110.0,
+                probability=1.2,
+                failure_probability=0.2,
+            )
+        with pytest.raises(ValueError):
+            DeadlineOffer(
+                start=10.0,
+                nodes=(1,),
+                deadline=110.0,
+                probability=-0.1,
+                failure_probability=0.2,
+            )
+
+    def test_rejects_failure_probability_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            DeadlineOffer(
+                start=10.0,
+                nodes=(1,),
+                deadline=110.0,
+                probability=0.8,
+                failure_probability=1.0000001,
+            )

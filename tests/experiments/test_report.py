@@ -53,6 +53,33 @@ class TestGenerateReport:
         assert "jobs per log: 50" in report
         assert "seed: 5" in report
 
+    def test_byte_identical_across_runs(self, small_catalog):
+        # The archival contract: same inputs, same bytes.  Before the
+        # elapsed_to fix the footer embedded wall-clock timing, so two
+        # runs straddling a 0.1s boundary produced different artifacts.
+        first = generate_report(
+            job_count=50, seed=5, figures=[7], catalog=small_catalog
+        )
+        second = generate_report(
+            job_count=50, seed=5, figures=[7], catalog=small_catalog
+        )
+        assert first == second
+        assert "generated in" not in first
+
+    def test_elapsed_goes_to_stream_not_report(self, small_catalog):
+        import io
+
+        stream = io.StringIO()
+        report = generate_report(
+            job_count=50,
+            seed=5,
+            figures=[],
+            catalog=small_catalog,
+            elapsed_to=stream,
+        )
+        assert "generated in" in stream.getvalue()
+        assert "generated in" not in report
+
     def test_cli_report_command(self, capsys):
         from repro.cli import main
 

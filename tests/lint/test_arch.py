@@ -1,0 +1,268 @@
+"""Architecture pass (QOS501/QOS502): layer map, cycles, exemptions.
+
+The deliberately-cycled fixtures here are the negative control the repo
+gate (``test_repo_clean``) needs: the real tree passing ``--arch`` only
+means something if a broken tree fails it.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Dict
+
+from repro.lint.arch import (
+    check_architecture,
+    collect_import_edges,
+    layer_of,
+)
+from repro.lint.config import LintConfig
+from repro.lint.engine import lint_paths
+
+
+def modules_from(sources: Dict[str, str]):
+    """``{module: source}`` → the dict :func:`check_architecture` takes."""
+    return {
+        module: (
+            "src/" + module.replace(".", "/") + ".py",
+            ast.parse(textwrap.dedent(source)),
+        )
+        for module, source in sources.items()
+    }
+
+
+class TestLayerMap:
+    def test_longest_prefix_wins(self):
+        assert layer_of("repro.cli")[1] == "cli"
+        assert layer_of("repro")[1] == "cli"
+        assert layer_of("repro.sim.engine")[1] == "sim"
+        assert layer_of("repro.lint.engine")[1] == "experiments"
+
+    def test_shared_bands(self):
+        assert layer_of("repro.core.system") == layer_of(
+            "repro.scheduling.fcfs"
+        )
+        assert layer_of("repro.workload.models") == layer_of(
+            "repro.failures.generator"
+        )
+
+    def test_unmapped_module_skipped(self):
+        assert layer_of("otherpkg.thing") is None
+
+    def test_ordering_matches_the_paper_stack(self):
+        ranks = {
+            name: layer_of(module)[0]
+            for name, module in [
+                ("sim", "repro.sim.engine"),
+                ("prediction", "repro.prediction.base"),
+                ("scheduling", "repro.scheduling.fcfs"),
+                ("core", "repro.core.system"),
+                ("experiments", "repro.experiments.report"),
+                ("cli", "repro.cli"),
+            ]
+        }
+        assert (
+            ranks["sim"]
+            < ranks["prediction"]
+            <= ranks["scheduling"]
+            == ranks["core"]
+            < ranks["experiments"]
+            < ranks["cli"]
+        )
+
+
+class TestEdgeCollection:
+    def test_type_checking_guard_exempt(self):
+        source = """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core.system import System
+        """
+        tree = ast.parse(textwrap.dedent(source))
+        edges = collect_import_edges(
+            tree, "repro.sim.engine", "x.py", ["repro.core.system"]
+        )
+        assert edges == []
+
+    def test_function_scoped_import_exempt(self):
+        source = """
+            def build():
+                from repro.core.system import System
+                return System
+        """
+        tree = ast.parse(textwrap.dedent(source))
+        edges = collect_import_edges(
+            tree, "repro.sim.engine", "x.py", ["repro.core.system"]
+        )
+        assert edges == []
+
+    def test_from_import_resolves_to_known_submodule(self):
+        tree = ast.parse("from repro.core import metrics\n")
+        edges = collect_import_edges(
+            tree, "repro.scheduling.easy", "x.py", ["repro.core.metrics"]
+        )
+        assert [e.imported for e in edges] == ["repro.core.metrics"]
+
+    def test_from_import_of_symbol_resolves_to_package(self):
+        tree = ast.parse("from repro.core.metrics import qos_metric\n")
+        edges = collect_import_edges(
+            tree, "repro.scheduling.easy", "x.py", ["repro.core.metrics"]
+        )
+        assert [e.imported for e in edges] == ["repro.core.metrics"]
+
+    def test_try_fallback_import_counted(self):
+        source = """
+            try:
+                from repro.core.system import System
+            except ImportError:
+                System = None
+        """
+        tree = ast.parse(textwrap.dedent(source))
+        edges = collect_import_edges(
+            tree, "repro.sim.engine", "x.py", ["repro.core.system"]
+        )
+        assert len(edges) == 1
+
+
+class TestLayering:
+    def test_upward_import_flagged(self):
+        findings = check_architecture(
+            modules_from(
+                {
+                    "repro.sim.engine": "from repro.core.metrics import x\n",
+                    "repro.core.metrics": "x = 1\n",
+                }
+            )
+        )
+        assert [f.code for f in findings] == ["QOS501"]
+        assert "higher layer" in findings[0].message
+
+    def test_downward_import_clean(self):
+        findings = check_architecture(
+            modules_from(
+                {
+                    "repro.core.system": "from repro.sim.engine import x\n",
+                    "repro.sim.engine": "x = 1\n",
+                }
+            )
+        )
+        assert findings == []
+
+    def test_same_band_import_clean(self):
+        findings = check_architecture(
+            modules_from(
+                {
+                    "repro.scheduling.easy": (
+                        "from repro.core.metrics import x\n"
+                    ),
+                    "repro.core.metrics": "x = 1\n",
+                }
+            )
+        )
+        assert findings == []
+
+
+class TestCycles:
+    def test_two_module_cycle_flagged_on_both_edges(self):
+        findings = check_architecture(
+            modules_from(
+                {
+                    "repro.cluster.nodes": (
+                        "from repro.prediction.base import x\n"
+                    ),
+                    "repro.prediction.base": (
+                        "from repro.cluster.nodes import y\n"
+                    ),
+                }
+            )
+        )
+        assert [f.code for f in findings] == ["QOS502", "QOS502"]
+        assert all("import cycle" in f.message for f in findings)
+
+    def test_three_module_cycle(self):
+        findings = check_architecture(
+            modules_from(
+                {
+                    "repro.sim.a": "from repro.sim.b import x\n",
+                    "repro.sim.b": "from repro.sim.c import x\n",
+                    "repro.sim.c": "from repro.sim.a import x\n",
+                }
+            )
+        )
+        assert [f.code for f in findings] == ["QOS502"] * 3
+
+    def test_diamond_is_not_a_cycle(self):
+        findings = check_architecture(
+            modules_from(
+                {
+                    "repro.sim.a": (
+                        "from repro.sim.b import x\n"
+                        "from repro.sim.c import y\n"
+                    ),
+                    "repro.sim.b": "from repro.sim.d import x\n",
+                    "repro.sim.c": "from repro.sim.d import x\n",
+                    "repro.sim.d": "x = 1\n",
+                }
+            )
+        )
+        assert findings == []
+
+
+class TestEndToEnd:
+    def _write_tree(self, root, files: Dict[str, str]) -> None:
+        for relative, source in files.items():
+            path = root / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        for directory in root.rglob("repro*"):
+            if directory.is_dir():
+                (directory / "__init__.py").touch()
+
+    def test_lint_paths_arch_flags_cycle(self, tmp_path):
+        self._write_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": "from repro.sim.b import x\n",
+                "repro/sim/b.py": "from repro.sim.a import y\n",
+            },
+        )
+        findings, _ = lint_paths([str(tmp_path)], LintConfig(), arch=True)
+        assert sorted({f.code for f in findings}) == ["QOS502"]
+
+    def test_arch_off_by_default(self, tmp_path):
+        self._write_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": "from repro.sim.b import x\n",
+                "repro/sim/b.py": "from repro.sim.a import y\n",
+            },
+        )
+        findings, _ = lint_paths([str(tmp_path)], LintConfig())
+        assert findings == []
+
+    def test_arch_finding_suppressable(self, tmp_path):
+        self._write_tree(
+            tmp_path,
+            {
+                "repro/sim/engine.py": (
+                    "from repro.core.metrics import x"
+                    "  # qoslint: disable=QOS501 -- transitional\n"
+                ),
+                "repro/core/metrics.py": "x = 1\n",
+            },
+        )
+        findings, _ = lint_paths([str(tmp_path)], LintConfig(), arch=True)
+        assert findings == []
+
+    def test_arch_honours_ignore(self, tmp_path):
+        self._write_tree(
+            tmp_path,
+            {
+                "repro/sim/engine.py": "from repro.core.metrics import x\n",
+                "repro/core/metrics.py": "x = 1\n",
+            },
+        )
+        config = LintConfig(ignore=frozenset({"QOS501"}))
+        findings, _ = lint_paths([str(tmp_path)], config, arch=True)
+        assert findings == []

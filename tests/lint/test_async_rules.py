@@ -1,0 +1,185 @@
+"""Fixtures for the async-safety rules (QOS401-QOS403)."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional, Sequence
+
+from repro.lint import lint_source
+from repro.lint.config import LintConfig
+
+LIB = "src/repro/experiments/fake.py"
+TEST = "tests/sim/fake_test.py"
+
+
+def codes(
+    source: str, path: str = LIB, select: Optional[Sequence[str]] = None
+) -> List[str]:
+    config = LintConfig(
+        select=frozenset(select) if select is not None else None
+    )
+    return [
+        f.code for f in lint_source(textwrap.dedent(source), path, config)
+    ]
+
+
+class TestQOS401BlockingInAsync:
+    def test_bad_time_sleep(self):
+        bad = """
+            import time
+
+            async def poll():
+                time.sleep(0.5)
+        """
+        assert codes(bad, select=["QOS401"]) == ["QOS401"]
+
+    def test_bad_subprocess_run(self):
+        bad = """
+            import subprocess
+
+            async def launch(cmd):
+                subprocess.run(cmd)
+        """
+        assert codes(bad, select=["QOS401"]) == ["QOS401"]
+
+    def test_bad_requests_prefix(self):
+        bad = """
+            import requests
+
+            async def fetch(url):
+                return requests.get(url)
+        """
+        assert codes(bad, select=["QOS401"]) == ["QOS401"]
+
+    def test_bad_applies_outside_library_too(self):
+        # A stalled loop in a test driver is just as real.
+        bad = """
+            import time
+
+            async def poll():
+                time.sleep(0.5)
+        """
+        assert codes(bad, TEST, select=["QOS401"]) == ["QOS401"]
+
+    def test_good_sync_function_may_block(self):
+        good = """
+            import time
+
+            def poll():
+                time.sleep(0.5)
+        """
+        assert codes(good, TEST, select=["QOS401"]) == []
+
+    def test_good_asyncio_sleep(self):
+        good = """
+            import asyncio
+
+            async def poll():
+                await asyncio.sleep(0.5)
+        """
+        assert codes(good, select=["QOS401"]) == []
+
+
+class TestQOS402CoroutineMutatesModuleState:
+    def test_bad_subscript_store(self):
+        bad = """
+            CACHE = {}
+
+            async def record(key, value):
+                CACHE[key] = value
+        """
+        assert codes(bad, select=["QOS402"]) == ["QOS402"]
+
+    def test_bad_mutating_method(self):
+        bad = """
+            PENDING = []
+
+            async def enqueue(job):
+                PENDING.append(job)
+        """
+        assert codes(bad, select=["QOS402"]) == ["QOS402"]
+
+    def test_good_local_shadow(self):
+        good = """
+            CACHE = {}
+
+            async def record(key, value):
+                CACHE = {}
+                CACHE[key] = value
+        """
+        assert codes(good, select=["QOS402"]) == []
+
+    def test_good_state_passed_explicitly(self):
+        good = """
+            CACHE = {}
+
+            async def record(cache, key, value):
+                cache[key] = value
+        """
+        assert codes(good, select=["QOS402"]) == []
+
+    def test_good_sync_function_exempt(self):
+        # A synchronous mutator is QOS107's territory (module-state
+        # pattern rule), not an interleaving hazard.
+        good = """
+            CACHE = {}
+
+            def record(key, value):
+                CACHE[key] = value
+        """
+        assert codes(good, select=["QOS402"]) == []
+
+
+class TestQOS403UnawaitedCoroutine:
+    def test_bad_bare_call_statement(self):
+        bad = """
+            async def work():
+                pass
+
+            def main():
+                work()
+        """
+        assert codes(bad, select=["QOS403"]) == ["QOS403"]
+
+    def test_bad_method_style_call(self):
+        bad = """
+            class Driver:
+                async def step(self):
+                    pass
+
+                def run(self):
+                    self.step()
+        """
+        assert codes(bad, select=["QOS403"]) == ["QOS403"]
+
+    def test_good_awaited(self):
+        good = """
+            async def work():
+                pass
+
+            async def main():
+                await work()
+        """
+        assert codes(good, select=["QOS403"]) == []
+
+    def test_good_handed_to_create_task(self):
+        good = """
+            import asyncio
+
+            async def work():
+                pass
+
+            def main(loop):
+                asyncio.create_task(work())
+        """
+        assert codes(good, select=["QOS403"]) == []
+
+    def test_good_sync_call(self):
+        good = """
+            def work():
+                pass
+
+            def main():
+                work()
+        """
+        assert codes(good, select=["QOS403"]) == []

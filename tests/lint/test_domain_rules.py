@@ -1,0 +1,166 @@
+"""Fixtures for the domain rules: QOS301 (probability) and QOS302 (units).
+
+QOS301 cases exercise the interval analysis end to end: parameters named
+like probabilities seed to [0, 1], arithmetic widens the range, and the
+rule fires only on *provable* escapes — an unbounded value is never
+reported, because the analysis cannot distinguish it from a clamped one.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional, Sequence
+
+from repro.lint import lint_source
+from repro.lint.config import LintConfig
+
+SIM = "src/repro/sim/fake.py"
+LIB = "src/repro/experiments/fake.py"
+
+
+def codes(
+    source: str, path: str = LIB, select: Optional[Sequence[str]] = None
+) -> List[str]:
+    config = LintConfig(
+        select=frozenset(select) if select is not None else None
+    )
+    return [
+        f.code for f in lint_source(textwrap.dedent(source), path, config)
+    ]
+
+
+class TestQOS301ProbabilityDomain:
+    def test_bad_added_probabilities(self):
+        # The canonical bug: P(A or B) is not P(A) + P(B).
+        bad = """
+            def risk(p, pf, submit):
+                submit(probability=p + pf)
+        """
+        assert codes(bad, select=["QOS301"]) == ["QOS301"]
+
+    def test_bad_scaled_probability(self):
+        bad = """
+            def boost(p, submit):
+                submit(confidence=p * 2.0)
+        """
+        assert codes(bad, select=["QOS301"]) == ["QOS301"]
+
+    def test_bad_negated_probability(self):
+        bad = """
+            def flip(p, submit):
+                submit(failure_probability=p - 1.0)
+        """
+        assert codes(bad, select=["QOS301"]) == ["QOS301"]
+
+    def test_bad_annotated_probability_binding(self):
+        bad = """
+            from repro.sim.units import Probability
+
+            def doubled(p):
+                both: Probability = p * 2.0
+                return both
+        """
+        assert codes(bad, select=["QOS301"]) == ["QOS301"]
+
+    def test_good_complement(self):
+        good = """
+            def success(p, submit):
+                submit(probability=1.0 - p)
+        """
+        assert codes(good, select=["QOS301"]) == []
+
+    def test_good_clamped(self):
+        good = """
+            def risk(p, pf, submit):
+                submit(probability=min(1.0, p + pf))
+        """
+        assert codes(good, select=["QOS301"]) == []
+
+    def test_good_combined_independently(self):
+        good = """
+            def risk(p, pf, submit):
+                submit(probability=combine_independent([p, pf]))
+        """
+        assert codes(good, select=["QOS301"]) == []
+
+    def test_good_unbounded_value_not_reported(self):
+        # ``score`` could be anything; no proof, no finding.
+        good = """
+            def forward(score, submit):
+                submit(probability=score)
+        """
+        assert codes(good, select=["QOS301"]) == []
+
+    def test_good_branch_hull_stays_inside(self):
+        good = """
+            def pick(p, flag, submit):
+                if flag:
+                    chosen = p
+                else:
+                    chosen = 1.0 - p
+                submit(probability=chosen)
+        """
+        assert codes(good, select=["QOS301"]) == []
+
+
+class TestQOS302TimeUnits:
+    def test_bad_wall_annotated_param_scheduled(self):
+        bad = """
+            from repro.sim.units import WallSeconds
+
+            def wait(loop, budget: WallSeconds, kind):
+                loop.schedule_in(budget, kind)
+        """
+        assert codes(bad, SIM, select=["QOS302"]) == ["QOS302"]
+
+    def test_bad_wall_clock_read_scheduled(self):
+        bad = """
+            import time
+
+            def mark(loop, kind):
+                stamp = time.time()
+                loop.schedule(stamp, kind)
+        """
+        assert codes(bad, SIM, select=["QOS302"]) == ["QOS302"]
+
+    def test_bad_sim_time_into_wall_annotated_function(self):
+        bad = """
+            from repro.sim.units import WallSeconds
+
+            def pause_for(budget: WallSeconds) -> None:
+                pass
+
+            def wait(loop):
+                deadline = loop.now
+                pause_for(deadline)
+        """
+        assert codes(bad, SIM, select=["QOS302"]) == ["QOS302"]
+
+    def test_good_sim_time_scheduled(self):
+        good = """
+            def tick(loop, kind):
+                t = loop.now + 5.0
+                loop.schedule(t, kind)
+        """
+        assert codes(good, SIM, select=["QOS302"]) == []
+
+    def test_good_unannotated_value(self):
+        good = """
+            def tick(loop, delay, kind):
+                loop.schedule_in(delay, kind)
+        """
+        assert codes(good, SIM, select=["QOS302"]) == []
+
+    def test_good_wall_value_into_wall_annotated_function(self):
+        good = """
+            import time
+            from repro.sim.units import WallSeconds
+
+            def pause_for(budget: WallSeconds) -> None:
+                pass
+
+            def wait():
+                budget = time.perf_counter()
+                pause_for(budget)
+        """
+        assert codes(good, LIB, select=["QOS302"]) == []

@@ -126,3 +126,44 @@ class TestEngineOutput:
         source = "import sys\nif sys.platform == 'linux':\n    CACHE = {}\n"
         findings = lint_source(source, SIM)
         assert "QOS107" in [f.code for f in findings]
+
+
+class TestUnusedSuppressions:
+    def test_stale_suppression_becomes_qos002(self):
+        source = "x = 1  # qoslint: disable=QOS102 -- stale excuse\n"
+        findings = lint_source(source, SIM)
+        assert [f.code for f in findings] == ["QOS002"]
+        assert "stale" in findings[0].message
+
+    def test_live_suppression_stays_silent(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # qoslint: disable=QOS102 -- fixture\n"
+        )
+        assert lint_source(source, SIM) == []
+
+    def test_unchecked_code_not_judged(self):
+        # With only QOS110 selected, QOS102 never ran; its suppression is
+        # dormant, not stale.
+        source = "x = 1  # qoslint: disable=QOS102 -- rule not active\n"
+        config = LintConfig(select=frozenset({"QOS110"}))
+        assert lint_source(source, SIM, config) == []
+
+    def test_arch_code_suppression_not_judged(self):
+        # QOS501 findings come from the whole-program pass, which a
+        # single-file lint never runs; the per-file QOS002 check must not
+        # call its suppressions stale.
+        source = (
+            "from repro.core import metrics"
+            "  # qoslint: disable=QOS501 -- transitional\n"
+        )
+        assert lint_source(source, SIM) == []
+
+    def test_one_stale_code_in_multi_code_suppression(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # qoslint: disable=QOS102,QOS110 -- half stale\n"
+        )
+        findings = lint_source(source, SIM)
+        assert [f.code for f in findings] == ["QOS002"]
+        assert "QOS110" in findings[0].message

@@ -22,6 +22,13 @@ def test_src_tree_is_clean():
     assert findings == [], "\n" + "\n".join(f.render() for f in findings)
 
 
+def test_architecture_holds():
+    # The whole-program pass: layer DAG respected, no import cycles.
+    findings, scanned = lint_paths([str(REPO_ROOT / "src")], arch=True)
+    assert scanned > 0
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
 def test_test_tree_is_clean():
     findings, scanned = lint_paths([str(REPO_ROOT / "tests")])
     assert scanned > 0

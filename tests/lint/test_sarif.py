@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 output: structure, determinism, CLI integration."""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.engine import known_codes
+from repro.lint.sarif import render_sarif, to_sarif
+
+BAD_SOURCE = textwrap.dedent(
+    """
+    import time
+
+    def mark(loop, kind):
+        stamp = time.time()
+        loop.schedule(stamp, kind)
+    """
+)
+
+
+def findings():
+    return lint_source(BAD_SOURCE, "src/repro/sim/fake.py")
+
+
+class TestDocument:
+    def test_envelope(self):
+        doc = to_sarif(findings())
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(doc["runs"]) == 1
+
+    def test_every_known_code_has_a_rule_descriptor(self):
+        doc = to_sarif([])
+        ids = {
+            rule["id"]
+            for rule in doc["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert known_codes() <= ids
+
+    def test_results_reference_rules_by_index(self):
+        doc = to_sarif(findings())
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["results"], "fixture must produce findings"
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_locations_are_one_based(self):
+        doc = to_sarif(findings())
+        for result in doc["runs"][0]["results"]:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_severity_levels_are_sarif_terms(self):
+        doc = to_sarif(findings())
+        for result in doc["runs"][0]["results"]:
+            assert result["level"] in ("error", "warning")
+
+    def test_output_is_deterministic(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        render_sarif(findings(), first)
+        render_sarif(findings(), second)
+        assert first.getvalue() == second.getvalue()
+        json.loads(first.getvalue())  # and it is valid JSON
+
+
+class TestCli:
+    def test_probqos_lint_format_sarif(self, capsys, tmp_path):
+        from repro.cli import main
+
+        clean = tmp_path / "repro" / "sim"
+        clean.mkdir(parents=True)
+        (clean / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        code = main(["lint", "--format", "sarif", str(tmp_path)])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"] == []
+
+    def test_exit_code_still_signals_findings(self, capsys, tmp_path):
+        from repro.cli import main
+
+        dirty = tmp_path / "repro" / "sim"
+        dirty.mkdir(parents=True)
+        (dirty / "bad.py").write_text(
+            "import random\nrandom.seed(1)\n", encoding="utf-8"
+        )
+        code = main(["lint", "--format", "sarif", str(tmp_path)])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        codes = {r["ruleId"] for r in doc["runs"][0]["results"]}
+        assert "QOS101" in codes

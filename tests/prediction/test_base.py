@@ -5,7 +5,23 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.prediction.base import NullPredictor, combine_independent
+from repro.prediction.base import (
+    NullPredictor,
+    PredictedFailure,
+    combine_independent,
+)
+
+
+class TestPredictedFailure:
+    def test_accepts_unit_interval_bounds(self):
+        assert PredictedFailure(time=5.0, node=1, probability=0.0).probability == 0.0
+        assert PredictedFailure(time=5.0, node=1, probability=1.0).probability == 1.0
+
+    def test_rejects_probability_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            PredictedFailure(time=5.0, node=1, probability=1.5)
+        with pytest.raises(ValueError):
+            PredictedFailure(time=5.0, node=1, probability=-0.2)
 
 
 class TestNullPredictor:
