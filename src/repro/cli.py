@@ -22,6 +22,11 @@ Examples::
     probqos audit trace.jsonl
     probqos audit trace.jsonl --format json --out audit.json
     probqos audit audit.json --diagram-csv reliability.csv
+    probqos run --workload nasa --prof prof.json
+    probqos prof report prof.json
+    probqos prof export prof.json --format collapsed
+    probqos bench compare old_ledger.json new_ledger.json --fail-on-regression
+    probqos bench trend ledgers/*.json
     probqos lint src tests
     probqos lint --format json --select QOS101,QOS102 src
 
@@ -65,6 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_args(fig)
     _add_trace_args(fig)
     _add_audit_args(fig)
+    _add_prof_args(fig)
     _add_parallel_args(fig)
 
     tab = sub.add_parser("table", help="regenerate a paper table (1-2)")
@@ -73,6 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_args(tab)
     _add_trace_args(tab)
     _add_audit_args(tab)
+    _add_prof_args(tab)
     _add_parallel_args(tab)
 
     run = sub.add_parser("run", help="simulate one (a, U) point")
@@ -86,6 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_args(run)
     _add_trace_args(run)
     _add_audit_args(run)
+    _add_prof_args(run)
     run.add_argument(
         "--obs-interval",
         type=float,
@@ -101,6 +109,129 @@ def _build_parser() -> argparse.ArgumentParser:
         "summarize", help="render an --obs report as text"
     )
     obs_summarize.add_argument("path", help="report written by --obs PATH")
+    obs_summarize.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="obs_format",
+        help="summary format: human text or the structured dict the text "
+        "renders (default: text)",
+    )
+
+    prof = sub.add_parser(
+        "prof", help="inspect hierarchical profiles written by --prof"
+    )
+    prof_sub = prof.add_subparsers(dest="prof_command", required=True)
+    prof_report = prof_sub.add_parser(
+        "report", help="render a profile as a zone-tree text report"
+    )
+    prof_report.add_argument("path", help="profile written by --prof PATH")
+    prof_report.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        metavar="N",
+        help="rows in the flat hottest-zones table (default 12)",
+    )
+    prof_report.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="max_depth",
+        help="truncate the zone tree below this depth (default: unlimited)",
+    )
+    prof_export = prof_sub.add_parser(
+        "export",
+        help="export a profile as collapsed stacks "
+        "(FlameGraph / speedscope) or JSON",
+    )
+    prof_export.add_argument("path", help="profile written by --prof PATH")
+    prof_export.add_argument(
+        "--format",
+        choices=["collapsed", "json"],
+        default="collapsed",
+        dest="prof_format",
+        help="'collapsed' (one 'a;b;c weight' line per stack, loads in "
+        "speedscope and flamegraph.pl) or 'json' (the raw snapshot) "
+        "(default: collapsed)",
+    )
+    prof_export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output file (default: <profile>.collapsed / stdout for json)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="compare and trend BENCH perf ledgers"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH ledgers with noise-tolerant regression gates",
+    )
+    bench_compare.add_argument("old", help="baseline ledger (JSON)")
+    bench_compare.add_argument("new", help="candidate ledger (JSON)")
+    bench_compare.add_argument(
+        "--time-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        dest="time_ratio",
+        help="slowdown factor a timing median must exceed to regress "
+        "(default 1.5)",
+    )
+    bench_compare.add_argument(
+        "--min-abs-s",
+        type=float,
+        default=None,
+        metavar="S",
+        dest="min_abs_s",
+        help="absolute seconds a timing median must additionally lose "
+        "(default 0.05)",
+    )
+    bench_compare.add_argument(
+        "--count-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        dest="count_ratio",
+        help="relative growth an obs work counter must exceed to regress "
+        "(default 1.25)",
+    )
+    bench_compare.add_argument(
+        "--counts-only",
+        action="store_true",
+        dest="counts_only",
+        help="gate only the machine-independent obs.* work counters "
+        "(for CI against a baseline timed on different hardware)",
+    )
+    bench_compare.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        dest="fail_on_regression",
+        help="exit 1 when any metric regresses",
+    )
+    bench_compare.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="bench_format",
+        help="report format (default: text)",
+    )
+    bench_compare.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show every gated metric, not just the flagged ones",
+    )
+    bench_trend = bench_sub.add_parser(
+        "trend",
+        help="sparkline metric history across a sequence of ledgers",
+    )
+    bench_trend.add_argument(
+        "paths", nargs="+", help="BENCH ledgers, oldest first"
+    )
 
     trace = sub.add_parser(
         "trace", help="assemble and inspect span timelines from --trace files"
@@ -382,6 +513,55 @@ def _add_audit_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_prof_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prof",
+        metavar="PATH",
+        default=None,
+        help="profile the simulation(s) into hierarchical wall-time zones "
+        "and write the profile (JSON) to PATH; inspect with "
+        "'probqos prof report/export'",
+    )
+    parser.add_argument(
+        "--prof-bucket",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="prof_bucket",
+        help="sim-seconds per wall-cost attribution bucket "
+        "(default 3600)",
+    )
+
+
+def _make_profiler(args: argparse.Namespace):
+    """The live profiler requested by ``--prof``, or None."""
+    if getattr(args, "prof", None) is None:
+        return None
+    from repro.obs.prof import DEFAULT_BUCKET_WIDTH, Profiler
+
+    width = (
+        args.prof_bucket if args.prof_bucket is not None
+        else DEFAULT_BUCKET_WIDTH
+    )
+    return Profiler(bucket_width=width)
+
+
+def _write_profile(args: argparse.Namespace, profiler) -> None:
+    from repro.obs.prof import total_ns, write_profile
+
+    meta = {"command": args.command}
+    for key in ("workload", "job_count", "seed", "accuracy",
+                "user_threshold", "number"):
+        if getattr(args, key, None) is not None:
+            meta[key] = getattr(args, key)
+    snapshot = write_profile(args.prof, profiler.snapshot(meta=meta))
+    print(
+        f"\nprofile written to {args.prof}: "
+        f"{total_ns(snapshot) / 1e9:.3f}s under profile; inspect with "
+        f"'probqos prof report {args.prof}'"
+    )
+
+
 def _write_obs_report(args: argparse.Namespace, registry, sampler=None) -> None:
     from repro.obs.export import write_report
 
@@ -470,6 +650,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         from repro.obs.audit import GuaranteeAudit
 
         audit = GuaranteeAudit()
+    # Profiles DO cross process boundaries (workers ship snapshots that
+    # the parent folds), so --prof neither forces --jobs 1 nor disables
+    # the cache — cache hits simply contribute no zones.
+    profiler = _make_profiler(args)
     try:
         catalog = FigureCatalog()
         workloads = (
@@ -485,6 +669,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 cache=cache,
                 recorder=recorder,
                 audit=audit,
+                profiler=profiler,
             )
         print(format_figure(catalog.figure(args.number)))
     finally:
@@ -502,6 +687,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         )
     if registry is not None:
         _write_obs_report(args, registry)
+    if profiler is not None:
+        _write_profile(args, profiler)
     return 0
 
 
@@ -543,6 +730,10 @@ def _cmd_table(args: argparse.Namespace) -> int:
         from repro.obs.registry import MetricsRegistry
 
         _write_obs_report(args, MetricsRegistry())
+    if args.prof:
+        # Likewise: an empty (but valid) profile.
+        profiler = _make_profiler(args)
+        _write_profile(args, profiler)
     return 0
 
 
@@ -551,7 +742,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     registry = sampler = None
     spans = None
     audit_report = None
-    if args.obs or args.trace or args.audit:
+    profiler = _make_profiler(args)
+    if args.obs or args.trace or args.audit or args.prof:
         builder = trace_stream = audit = None
         if args.obs:
             from repro.obs.registry import MetricsRegistry
@@ -575,6 +767,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 sample_interval=interval if registry is not None else None,
                 recorder=builder,
                 audit=audit,
+                profiler=profiler,
                 checkpoint_policy=args.policy,
                 placement=args.placement,
                 topology=args.topology,
@@ -635,6 +828,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _write_audit_report(args, audit_report)
     if registry is not None:
         _write_obs_report(args, registry, sampler=sampler)
+    if profiler is not None:
+        _write_profile(args, profiler)
     return 0
 
 
@@ -754,7 +949,7 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs.export import load_report, summarize
+    from repro.obs.export import load_report, summarize, summarize_data
 
     if args.obs_command == "summarize":
         try:
@@ -762,7 +957,124 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot read obs report: {exc}", file=sys.stderr)
             return 2
-        print(summarize(report))
+        if args.obs_format == "json":
+            import json
+
+            print(json.dumps(summarize_data(report), indent=2, sort_keys=True))
+        else:
+            print(summarize(report))
+        return 0
+    return 2
+
+
+def _cmd_prof(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.prof import (
+        load_profile,
+        render_report,
+        to_collapsed,
+        validate_collapsed,
+    )
+
+    try:
+        snapshot = load_profile(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read profile: {exc}", file=sys.stderr)
+        return 2
+
+    if args.prof_command == "report":
+        print(render_report(snapshot, top=args.top, max_depth=args.max_depth))
+        return 0
+
+    if args.prof_command == "export":
+        if args.prof_format == "json":
+            text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+            if args.out is None:
+                print(text, end="")
+                return 0
+        else:
+            text = to_collapsed(snapshot)
+            problems = validate_collapsed(text)
+            if problems:
+                for problem in problems:
+                    print(f"invalid collapsed stack: {problem}", file=sys.stderr)
+                return 1
+        out = args.out if args.out is not None else args.path + ".collapsed"
+        with open(out, "w") as fh:
+            fh.write(text)
+        stacks = sum(1 for line in text.splitlines() if line.strip())
+        print(
+            f"{args.prof_format} profile written to {out}: {stacks} "
+            + ("stacks — load in speedscope.app or flamegraph.pl"
+               if args.prof_format == "collapsed" else "lines")
+        )
+        return 0
+    return 2
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.bench import (
+        DEFAULT_COUNT_RATIO,
+        DEFAULT_MIN_ABS_S,
+        DEFAULT_TIME_RATIO,
+        compare_ledgers,
+        load_ledger,
+        render_compare,
+        render_trend,
+    )
+
+    if args.bench_command == "compare":
+        try:
+            old_doc = load_ledger(args.old)
+            new_doc = load_ledger(args.new)
+            result = compare_ledgers(
+                old_doc,
+                new_doc,
+                time_ratio=(
+                    args.time_ratio if args.time_ratio is not None
+                    else DEFAULT_TIME_RATIO
+                ),
+                min_abs_s=(
+                    args.min_abs_s if args.min_abs_s is not None
+                    else DEFAULT_MIN_ABS_S
+                ),
+                count_ratio=(
+                    args.count_ratio if args.count_ratio is not None
+                    else DEFAULT_COUNT_RATIO
+                ),
+                counts_only=args.counts_only,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot compare ledgers: {exc}", file=sys.stderr)
+            return 2
+        if args.bench_format == "json":
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print(render_compare(result, verbose=args.verbose))
+        if args.fail_on_regression and result["verdict"] == "regressed":
+            print(
+                f"{len(result['regressions'])} perf regression(s) past the "
+                "noise gate (failing on regression)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.bench_command == "trend":
+        import os
+
+        docs = []
+        try:
+            for path in args.paths:
+                label = os.path.basename(path)
+                docs.append((label, load_ledger(path)))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read ledger: {exc}", file=sys.stderr)
+            return 2
+        print(render_trend(docs))
         return 0
     return 2
 
@@ -955,6 +1267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gantt": _cmd_gantt,
         "report": _cmd_report,
         "obs": _cmd_obs,
+        "prof": _cmd_prof,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
         "audit": _cmd_audit,
         "lint": _cmd_lint,

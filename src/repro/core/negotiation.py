@@ -61,6 +61,7 @@ from repro.cluster.topology import Topology
 from repro.core.fastpath import AnalyticalEvaluator
 from repro.core.guarantee import DeadlineOffer, QoSGuarantee
 from repro.core.users import RiskThresholdUser, UserModel
+from repro.obs.prof import NULL_PROFILER, Profiler
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.prediction.base import Predictor
 
@@ -154,6 +155,10 @@ class Negotiator:
             from ``predictor`` when omitted).  The system passes a shared
             instance so placement scoring reuses the same term cache.
         oracle_tolerance: Absolute tolerance for the oracle cross-check.
+        profiler: Optional hierarchical profiler (:mod:`repro.obs.prof`);
+            when live, each dialogue runs inside the
+            ``negotiation.dialogue.negotiate`` zone, and a self-built
+            evaluator inherits it.
     """
 
     def __init__(
@@ -168,6 +173,7 @@ class Negotiator:
         failure_jump_epsilon: float = 1.0,
         evaluator: Optional[AnalyticalEvaluator] = None,
         oracle_tolerance: float = DEFAULT_ORACLE_TOLERANCE,
+        profiler: Optional[Profiler] = None,
     ) -> None:
         if max_offers < 1:
             raise ValueError(f"max_offers must be >= 1, got {max_offers}")
@@ -193,13 +199,15 @@ class Negotiator:
         self._jump_epsilon = float(failure_jump_epsilon)
         self._oracle_tolerance = float(oracle_tolerance)
         registry = registry if registry is not None else NULL_REGISTRY
+        profiler = profiler if profiler is not None else NULL_PROFILER
         if mode == "probe":
             self._eval: Optional[AnalyticalEvaluator] = None
         elif evaluator is not None:
             self._eval = evaluator
         else:
             self._eval = AnalyticalEvaluator(
-                predictor, ledger.node_count, registry=registry
+                predictor, ledger.node_count, registry=registry,
+                profiler=profiler,
             )
         # Jump targets come from the evaluator only in analytical mode;
         # probe and oracle stay faithful to the live predictor.
@@ -223,6 +231,8 @@ class Negotiator:
         self._h_accepted_rank = registry.histogram(
             "negotiation.dialogue.accepted_rank"
         )
+        self._prof = profiler.enabled
+        self._z_negotiate = profiler.zone("negotiation.dialogue.negotiate")
 
     @property
     def mode(self) -> str:
@@ -467,6 +477,19 @@ class Negotiator:
         Raises:
             ValueError: If the job can never fit (size > cluster width).
         """
+        if not self._prof:
+            return self._negotiate(job_id, size, duration, now, user)
+        with self._z_negotiate:
+            return self._negotiate(job_id, size, duration, now, user)
+
+    def _negotiate(
+        self,
+        job_id: int,
+        size: int,
+        duration: float,
+        now: float,
+        user: UserModel,
+    ) -> NegotiationOutcome:
         if size > self._ledger.node_count:
             raise ValueError(
                 f"job {job_id}: size {size} exceeds cluster width "

@@ -39,6 +39,7 @@ from repro.core.negotiation import NEGOTIATION_MODES
 from repro.core.users import RiskThresholdUser, UserModel
 from repro.failures.events import FailureTrace
 from repro.obs.audit import NULL_AUDIT, AuditReport, GuaranteeAudit
+from repro.obs.prof import NULL_PROFILER, Profiler
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sampler import Sampler
 from repro.obs.trace import SpanBuilder, SpanTimeline
@@ -185,6 +186,9 @@ class SimulationResult:
         audit: Promise-vs-outcome :class:`~repro.obs.audit.AuditReport`
             when the system ran with a live
             :class:`~repro.obs.audit.GuaranteeAudit`; None otherwise.
+        prof: Final profile snapshot (``profiler.snapshot()``) when the
+            system ran with a live :class:`~repro.obs.prof.Profiler`; None
+            otherwise.
     """
 
     metrics: SimulationMetrics
@@ -194,6 +198,7 @@ class SimulationResult:
     obs: Optional[dict] = None
     spans: Optional[SpanTimeline] = None
     audit: Optional[AuditReport] = None
+    prof: Optional[dict] = None
 
 
 class ProbabilisticQoSSystem:
@@ -232,6 +237,11 @@ class ProbabilisticQoSSystem:
             defaults to the shared zero-cost :data:`~repro.obs.audit.NULL_AUDIT`
             (one boolean test per promise/outcome).  A live audit's report
             rides on :attr:`SimulationResult.audit`.
+        profiler: Optional :class:`~repro.obs.prof.Profiler`; defaults to
+            the shared zero-cost :data:`~repro.obs.prof.NULL_PROFILER`.  A
+            live profiler threads through the hot paths (event dispatch,
+            ledger, negotiation, prediction, checkpoint decisions) and its
+            snapshot rides on :attr:`SimulationResult.prof`.
     """
 
     def __init__(
@@ -246,6 +256,7 @@ class ProbabilisticQoSSystem:
         sample_interval: Optional[float] = None,
         spans: Optional[SpanBuilder] = None,
         audit: Optional[GuaranteeAudit] = None,
+        profiler: Optional[Profiler] = None,
     ) -> None:
         if spans is not None:
             if recorder is not None:
@@ -260,6 +271,10 @@ class ProbabilisticQoSSystem:
         self._obs = self.registry.enabled
         self.audit: GuaranteeAudit = audit if audit is not None else NULL_AUDIT
         self._audit_on = self.audit.enabled
+        self.profiler: Profiler = (
+            profiler if profiler is not None else NULL_PROFILER
+        )
+        self._prof = self.profiler.enabled
         self.predictor: Predictor = (
             predictor
             if predictor is not None
@@ -267,12 +282,15 @@ class ProbabilisticQoSSystem:
         )
         if self._obs:
             self.predictor.bind_registry(self.registry)
+        if self._prof:
+            self.predictor.bind_profiler(self.profiler)
         self.user: UserModel = (
             user if user is not None else RiskThresholdUser(config.user_threshold)
         )
 
         self.cluster = Cluster(
-            config.node_count, downtime=config.downtime, registry=self.registry
+            config.node_count, downtime=config.downtime, registry=self.registry,
+            profiler=self.profiler,
         )
         self.topology: Topology = topology_by_name(config.topology, config.node_count)
         # In analytical/oracle mode one shared evaluator answers every
@@ -283,7 +301,8 @@ class ProbabilisticQoSSystem:
         self.evaluator: Optional[AnalyticalEvaluator] = None
         if config.negotiation_mode != "probe":
             self.evaluator = AnalyticalEvaluator(
-                self.predictor, config.node_count, registry=self.registry
+                self.predictor, config.node_count, registry=self.registry,
+                profiler=self.profiler,
             )
         query_predictor: Predictor = (
             self.evaluator
@@ -302,6 +321,7 @@ class ProbabilisticQoSSystem:
             negotiation_mode=config.negotiation_mode,
             failure_jump_epsilon=config.failure_jump_epsilon,
             evaluator=self.evaluator,
+            profiler=self.profiler,
         )
         self.policy: CheckpointPolicy = policy_by_name(config.checkpoint_policy)
         self.metrics = MetricsCollector()
@@ -310,7 +330,10 @@ class ProbabilisticQoSSystem:
             recorder if isinstance(recorder, SpanBuilder) else None
         )
 
-        self.loop = EventLoop(registry=self.registry, queue=config.event_loop)
+        self.loop = EventLoop(
+            registry=self.registry, queue=config.event_loop,
+            profiler=self.profiler,
+        )
         if self._span_builder is not None:
             # Exported timelines carry the event-mix breakdown in their
             # metadata; counting costs one bool test per event otherwise.
@@ -323,6 +346,7 @@ class ProbabilisticQoSSystem:
         self._g_running = self.registry.gauge("core.system.running_jobs")
         self._c_completed = self.registry.counter("core.system.jobs_completed")
         self._c_evacuations = self.registry.counter("core.system.evacuations")
+        self._z_decide = self.profiler.zone("checkpointing.policy.decide")
         self._states: Dict[int, _JobState] = {}
         self._pending = PendingStarts()
         self._unfinished = 0
@@ -419,6 +443,16 @@ class ProbabilisticQoSSystem:
             obs=self.registry.snapshot() if self._obs else None,
             spans=spans,
             audit=audit,
+            prof=(
+                self.profiler.snapshot(
+                    meta={
+                        "workload_jobs": len(self.workload),
+                        "events_processed": self.loop.processed_events,
+                    }
+                )
+                if self._prof
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -553,7 +587,11 @@ class ProbabilisticQoSSystem:
             deadline=state.guarantee.deadline if state.guarantee else None,
             predictor=self._query_predictor,
         )
-        decision = self.policy.decide(ctx)
+        if not self._prof:
+            decision = self.policy.decide(ctx)
+        else:
+            with self._z_decide:
+                decision = self.policy.decide(ctx)
         if decision.perform:
             state.pending_decision = decision
             state.run_event = self.loop.schedule(
@@ -861,11 +899,12 @@ def simulate(
     sample_interval: Optional[float] = None,
     recorder: Optional[TraceRecorder] = None,
     audit: Optional[GuaranteeAudit] = None,
+    profiler: Optional[Profiler] = None,
 ) -> SimulationResult:
     """One-call convenience: build the system and run it to completion."""
     system = ProbabilisticQoSSystem(
         config, workload, failures, predictor=predictor, user=user,
         registry=registry, sample_interval=sample_interval, recorder=recorder,
-        audit=audit,
+        audit=audit, profiler=profiler,
     )
     return system.run()

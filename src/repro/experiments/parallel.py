@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.metrics import SimulationMetrics
 from repro.experiments.cache import PointCache
 from repro.experiments.config import ExperimentSetup
+from repro.obs.prof import Profiler
 from repro.obs.registry import MetricsRegistry
 
 #: Precision at which sweep coordinates are considered the same point —
@@ -125,23 +126,41 @@ def _worker_context(setup: ExperimentSetup):
 
 
 def _run_spec_task(
-    spec: PointSpec, instrument: bool
-) -> Tuple[SimulationMetrics, Optional[Dict[str, Any]]]:
+    spec: PointSpec, instrument: bool, prof_bucket_width: Optional[float]
+) -> Tuple[SimulationMetrics, Optional[Dict[str, Any]], Optional[Dict[str, Any]]]:
     """Simulate one spec hermetically inside a pool worker.
 
     Returns the metrics plus, when ``instrument`` is set, the worker-local
-    registry snapshot for the parent to fold in.
+    registry snapshot, and, when ``prof_bucket_width`` is given, the
+    worker-local profile snapshot — both for the parent to fold in.
     """
     from repro.core.system import simulate
 
     context = _worker_context(spec.setup)
     registry = MetricsRegistry() if instrument else None
+    profiler = (
+        Profiler(bucket_width=prof_bucket_width)
+        if prof_bucket_width is not None
+        else None
+    )
     config = context.config(
         spec.accuracy, spec.user_threshold, **dict(spec.overrides)
     )
-    result = simulate(config, context.log, context.failures, registry=registry)
+    if profiler is not None:
+        # Same zone the in-process path opens in run_point, so folded
+        # trees have the same shape regardless of jobs.
+        with profiler.zone("experiments.runner.point"):
+            result = simulate(
+                config, context.log, context.failures, registry=registry,
+                profiler=profiler,
+            )
+    else:
+        result = simulate(
+            config, context.log, context.failures, registry=registry
+        )
     snapshot = registry.snapshot() if registry is not None else None
-    return result.metrics, snapshot
+    prof_snapshot = profiler.snapshot() if profiler is not None else None
+    return result.metrics, snapshot, prof_snapshot
 
 
 # ----------------------------------------------------------------------
@@ -153,6 +172,7 @@ def run_specs(
     cache: Optional[PointCache] = None,
     registry: Optional[MetricsRegistry] = None,
     contexts: Optional[Dict[ExperimentSetup, Any]] = None,
+    profiler: Optional[Profiler] = None,
 ) -> List[SimulationMetrics]:
     """Resolve every spec to its metrics, in input order.
 
@@ -173,6 +193,10 @@ def run_specs(
         contexts: Optional mutable ``{setup: ExperimentContext}`` map for
             in-process execution; prepared contexts are reused and fresh
             ones are stored back for the caller (lazy construction).
+        profiler: Parent profiler, handled exactly like ``registry``:
+            in-process runs profile into it directly, pooled workers
+            profile into private instances (same bucket width) and the
+            parent folds their snapshots in submission order.
     """
     results: List[Optional[SimulationMetrics]] = [None] * len(specs)
 
@@ -204,9 +228,9 @@ def run_specs(
     if jobs > 1 and len(unique) > 1:
         for context in (contexts or {}).values():
             register_context(context)  # inherited by forked workers
-        computed = _run_pooled(unique, jobs, registry)
+        computed = _run_pooled(unique, jobs, registry, profiler)
     else:
-        computed = _run_local(unique, registry, contexts)
+        computed = _run_local(unique, registry, contexts, profiler)
 
     for spec, metrics in zip(unique, computed):
         if cache is not None:
@@ -220,6 +244,7 @@ def _run_local(
     specs: Sequence[PointSpec],
     registry: Optional[MetricsRegistry],
     contexts: Optional[Dict[ExperimentSetup, Any]],
+    profiler: Optional[Profiler],
 ) -> List[SimulationMetrics]:
     """The sequential path: run through (possibly shared) live contexts."""
     from repro.experiments.runner import ExperimentContext
@@ -229,7 +254,9 @@ def _run_local(
     for spec in specs:
         context = contexts.get(spec.setup)
         if context is None:
-            context = ExperimentContext.prepare(spec.setup, registry=registry)
+            context = ExperimentContext.prepare(
+                spec.setup, registry=registry, profiler=profiler
+            )
             contexts[spec.setup] = context
         computed.append(
             context.run_point(
@@ -243,18 +270,24 @@ def _run_pooled(
     specs: Sequence[PointSpec],
     jobs: int,
     registry: Optional[MetricsRegistry],
+    profiler: Optional[Profiler],
 ) -> List[SimulationMetrics]:
     """Fan specs out across a process pool; gather in submission order."""
     instrument = registry is not None and registry.enabled
+    profile = profiler is not None and profiler.enabled
+    prof_bucket_width = profiler.bucket_width if profile else None
     workers = min(jobs, len(specs))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(_run_spec_task, spec, instrument) for spec in specs
+            pool.submit(_run_spec_task, spec, instrument, prof_bucket_width)
+            for spec in specs
         ]
         outcomes = [future.result() for future in futures]
     computed = []
-    for metrics, snapshot in outcomes:
+    for metrics, snapshot, prof_snapshot in outcomes:
         computed.append(metrics)
         if instrument and snapshot is not None:
             registry.merge_snapshot(snapshot)
+        if profile and prof_snapshot is not None:
+            profiler.merge_snapshot(prof_snapshot)
     return computed

@@ -21,6 +21,7 @@ from repro.experiments.config import ExperimentSetup
 from repro.failures.events import FailureTrace
 from repro.failures.generator import FailureModelSpec, generate_failure_trace
 from repro.obs.audit import GuaranteeAudit
+from repro.obs.prof import Profiler
 from repro.obs.registry import MetricsRegistry
 from repro.workload.job import JobLog
 from repro.workload.synthetic import log_by_name
@@ -76,6 +77,13 @@ class ExperimentContext:
             (``--audit`` on batch commands).  Same caveats as
             ``recorder``: cache hits contribute no promises and audits do
             not cross process boundaries — keep ``jobs=1`` when auditing.
+        profiler: Optional :class:`~repro.obs.prof.Profiler` threaded into
+            every simulation this context executes.  Unlike recorders and
+            audits, profiles *do* cross process boundaries: pooled workers
+            profile into private instances and the parent folds their
+            snapshots with :meth:`~repro.obs.prof.Profiler.merge_snapshot`
+            (the registry model).  Cache hits skip simulation and
+            contribute no zones.
     """
 
     setup: ExperimentSetup
@@ -87,6 +95,7 @@ class ExperimentContext:
     cache: Optional[PointCache] = None
     recorder: Optional[TraceRecorder] = None
     audit: Optional[GuaranteeAudit] = None
+    profiler: Optional[Profiler] = None
 
     @classmethod
     def prepare(
@@ -99,6 +108,7 @@ class ExperimentContext:
         cache: Optional[PointCache] = None,
         recorder: Optional[TraceRecorder] = None,
         audit: Optional[GuaranteeAudit] = None,
+        profiler: Optional[Profiler] = None,
     ) -> "ExperimentContext":
         """Build the context, synthesising whatever is not supplied.
 
@@ -120,6 +130,7 @@ class ExperimentContext:
         return cls(
             setup=setup, log=log, failures=failures, registry=registry,
             jobs=jobs, cache=cache, recorder=recorder, audit=audit,
+            profiler=profiler,
         )
 
     # ------------------------------------------------------------------
@@ -157,10 +168,18 @@ class ExperimentContext:
         if cached is not None:
             return cached
         config = self.config(accuracy, user_threshold, **overrides)
-        result = simulate(
-            config, self.log, self.failures, registry=self.registry,
-            recorder=self.recorder, audit=self.audit,
-        )
+        if self.profiler is not None and self.profiler.enabled:
+            with self.profiler.zone("experiments.runner.point"):
+                result = simulate(
+                    config, self.log, self.failures, registry=self.registry,
+                    recorder=self.recorder, audit=self.audit,
+                    profiler=self.profiler,
+                )
+        else:
+            result = simulate(
+                config, self.log, self.failures, registry=self.registry,
+                recorder=self.recorder, audit=self.audit,
+            )
         self._cache[key] = result.metrics
         return result.metrics
 
@@ -209,6 +228,7 @@ class ExperimentContext:
                 cache=cache,
                 registry=self.registry,
                 contexts={self.setup: self},
+                profiler=self.profiler,
             )
             for i, metrics in zip(todo, computed):
                 self._cache[keys[i]] = metrics
@@ -223,6 +243,7 @@ class ExperimentContext:
         sample_interval: Optional[float] = None,
         recorder: Optional[TraceRecorder] = None,
         audit: Optional[GuaranteeAudit] = None,
+        profiler: Optional[Profiler] = None,
         **overrides,
     ):
         """Simulate one point with live instrumentation (never memoised).
@@ -246,7 +267,7 @@ class ExperimentContext:
         system = ProbabilisticQoSSystem(
             config, self.log, self.failures,
             registry=registry, sample_interval=sample_interval,
-            recorder=recorder, audit=audit,
+            recorder=recorder, audit=audit, profiler=profiler,
         )
         return system.run(), system.sampler
 

@@ -26,6 +26,7 @@ from repro.lint.rules import (  # noqa: F401
     ordering,
     pickling,
     probability,
+    profzones,
     rng,
     state,
     wallclock,

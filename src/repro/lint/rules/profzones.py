@@ -1,0 +1,91 @@
+"""QOS111 — profiler zone names must be literal and well-formed.
+
+Profiler zones are the currency of the perf-regression pipeline: ``bench
+compare`` diffs them across commits and flamegraphs group by them, so a
+zone name must be greppable (a string literal, not a computed value) and
+must follow the same ``<layer>.<component>.<name>`` scheme the metrics
+registry enforces at runtime.  A dynamic name — an f-string, a variable —
+defeats both: the cross-commit diff silently forks per run, and the one
+place a name is defined can no longer be found by searching for it.
+
+The two legitimate dynamic sites (per-event-kind dispatch zones in the
+engine, per-predictor query zones in ``prediction.base``) interpolate
+closed, lowercase enums and carry explicit ``qoslint: disable=QOS111``
+suppressions stating that.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding, LintSeverity
+
+__all__ = ["ZONE_NAME_RE", "ProfilerZoneNameRule"]
+
+#: The ``<layer>.<component>.<name>`` grammar — mirrors
+#: ``repro.obs.prof.ZONE_NAME_RE`` (the runtime validator); keep in sync.
+ZONE_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+){2,}$")
+
+
+def _zone_name_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The expression carrying the zone name, if this call takes one.
+
+    Matches the two profiler entry points: ``<anything>.zone(name)``
+    (binding a :class:`~repro.obs.prof.Zone`) and ``profiled(name, ...)``
+    (the decorator), however the latter was imported.
+    """
+    func = node.func
+    is_zone_method = isinstance(func, ast.Attribute) and func.attr == "zone"
+    is_profiled = (
+        isinstance(func, ast.Name) and func.id == "profiled"
+    ) or (isinstance(func, ast.Attribute) and func.attr == "profiled")
+    if not (is_zone_method or is_profiled) or not node.args:
+        # Zero-arg ``.zone()`` is some other API (e.g. tzinfo); the
+        # keyword-only forms fail at runtime before lint matters.
+        return None
+    return node.args[0]
+
+
+@register
+class ProfilerZoneNameRule(Rule):
+    code = "QOS111"
+    name = "prof-zone-name"
+    rationale = (
+        "profiler zone names must be string literals following "
+        "<layer>.<component>.<name>; computed names break cross-commit "
+        "perf diffs and cannot be found by grep"
+    )
+    severity = LintSeverity.WARNING
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not ctx.in_library:
+            return
+        argument = _zone_name_argument(node)
+        if argument is None:
+            return
+        if isinstance(argument, ast.Constant) and isinstance(
+            argument.value, str
+        ):
+            if not ZONE_NAME_RE.match(argument.value):
+                yield self.finding(
+                    argument,
+                    ctx,
+                    f"zone name {argument.value!r} does not follow "
+                    "<layer>.<component>.<name> (lowercase dotted, "
+                    "at least three segments)",
+                )
+            return
+        # Anchor at the argument, not the call: multi-line calls carry
+        # their suppression on the name's line.
+        yield self.finding(
+            argument,
+            ctx,
+            "zone name must be a string literal so perf diffs and greps "
+            "can find it; if the interpolation is over a closed lowercase "
+            "set, suppress with a rationale",
+        )

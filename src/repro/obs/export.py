@@ -114,23 +114,82 @@ def _sparkline(values: List[float], width: int = 24) -> str:
     )
 
 
-def summarize(report: Dict[str, Any]) -> str:
-    """Render a loaded report as the ``probqos obs summarize`` text."""
-    lines: List[str] = []
+def summarize_data(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The structured form of the ``obs summarize`` report.
+
+    Everything the text renderer prints, as one JSON-serialisable dict —
+    ``--format json`` emits it verbatim and :func:`summarize` renders it.
+    Derived values (histogram means, series extrema) are computed here so
+    both formats agree by construction.
+    """
     meta = report.get("meta", {})
     names = report.get("metric_names", [])
     layers = report.get("layers", [])
+    metrics = report.get("metrics", {})
+    histograms: Dict[str, Any] = {}
+    for name, h in metrics.get("histograms", {}).items():
+        count = h.get("count", 0)
+        histograms[name] = {
+            "count": count,
+            "mean": (h.get("sum", 0.0) / count) if count else 0.0,
+            "min": h.get("min"),
+            "max": h.get("max"),
+        }
+
+    series = report.get("series", {})
+    rows = series.get("rows", [])
+    series_data: Dict[str, Any] = {
+        "samples": len(rows),
+        "interval": series.get("interval"),
+    }
+    if rows:
+        series_data["span"] = [rows[0]["time"], rows[-1]["time"]]
+        final = rows[-1].get("metrics", {})
+        top = sorted(final.items(), key=lambda kv: (-kv[1], kv[0]))[:SERIES_TOP_K]
+        series_data["top"] = [
+            {
+                "name": name,
+                "values": values,
+                "min": min(values),
+                "mean": sum(values) / len(values),
+                "max": max(values),
+                "final": values[-1],
+            }
+            for name, values in (
+                (
+                    name,
+                    [row.get("metrics", {}).get(name, 0.0) for row in rows],
+                )
+                for name, _ in top
+            )
+        ]
+    return {
+        "meta": dict(meta),
+        "metric_count": len(names),
+        "layers": list(layers),
+        "counters": dict(metrics.get("counters", {})),
+        "gauges": dict(metrics.get("gauges", {})),
+        "histograms": histograms,
+        "series": series_data,
+    }
+
+
+def summarize(report: Dict[str, Any]) -> str:
+    """Render a loaded report as the ``probqos obs summarize`` text."""
+    data = summarize_data(report)
+    lines: List[str] = []
+    layers = data["layers"]
     lines.append(
-        f"Observability report: {len(names)} metrics across "
+        f"Observability report: {data['metric_count']} metrics across "
         f"{len(layers)} layers ({', '.join(layers) if layers else 'none'})"
     )
+    meta = data["meta"]
     for key in sorted(meta):
         lines.append(f"  {key}: {meta[key]}")
 
-    metrics = report.get("metrics", {})
-    counters = metrics.get("counters", {})
-    gauges = metrics.get("gauges", {})
-    histograms = metrics.get("histograms", {})
+    counters = data["counters"]
+    gauges = data["gauges"]
+    histograms = data["histograms"]
 
     if counters:
         lines.append("")
@@ -150,21 +209,18 @@ def summarize(report: Dict[str, Any]) -> str:
         width = max(len(n) for n in histograms)
         for name in sorted(histograms):
             h = histograms[name]
-            count = h.get("count", 0)
-            mean = (h.get("sum", 0.0) / count) if count else 0.0
             lines.append(
-                f"  {name:<{width}}  count={count} mean={mean:.4g}"
-                f" min={_format_value(h.get('min') or 0)}"
-                f" max={_format_value(h.get('max') or 0)}"
+                f"  {name:<{width}}  count={h['count']} mean={h['mean']:.4g}"
+                f" min={_format_value(h['min'] or 0)}"
+                f" max={_format_value(h['max'] or 0)}"
             )
 
-    series = report.get("series", {})
-    rows = series.get("rows", [])
-    if rows:
-        t0, t1 = rows[0]["time"], rows[-1]["time"]
+    series = data["series"]
+    if series["samples"]:
+        t0, t1 = series["span"]
         lines.append("")
         lines.append(
-            f"Time series: {len(rows)} samples over sim-time "
+            f"Time series: {series['samples']} samples over sim-time "
             f"[{t0:g}, {t1:g}] s"
             + (
                 f" (interval {series['interval']:g} s)"
@@ -172,22 +228,21 @@ def summarize(report: Dict[str, Any]) -> str:
                 else ""
             )
         )
-        final = rows[-1].get("metrics", {})
-        top = sorted(final.items(), key=lambda kv: (-kv[1], kv[0]))[:SERIES_TOP_K]
+        top = series.get("top", [])
         if top:
             lines.append(
                 f"  top {len(top)} metrics by final value "
                 "(sparkline over all samples):"
             )
-            width = max(len(name) for name, _ in top)
-            for name, _ in top:
-                values = [row.get("metrics", {}).get(name, 0.0) for row in rows]
+            width = max(len(entry["name"]) for entry in top)
+            for entry in top:
                 lines.append(
-                    f"  {name:<{width}}  {_sparkline(values)}  "
-                    f"min={_format_value(min(values))} "
-                    f"mean={sum(values) / len(values):.4g} "
-                    f"max={_format_value(max(values))} "
-                    f"final={_format_value(values[-1])}"
+                    f"  {entry['name']:<{width}}  "
+                    f"{_sparkline(entry['values'])}  "
+                    f"min={_format_value(entry['min'])} "
+                    f"mean={entry['mean']:.4g} "
+                    f"max={_format_value(entry['max'])} "
+                    f"final={_format_value(entry['final'])}"
                 )
     else:
         lines.append("")

@@ -74,20 +74,26 @@ class Gauge:
 
 
 class _TimerContext:
-    """Context manager recording a wall-clock duration into a histogram."""
+    """Context manager recording a wall-clock duration into a histogram.
+
+    Durations are measured with ``perf_counter_ns`` and recorded through
+    :meth:`Histogram.observe_ns`, so the exact integer-nanosecond total
+    survives cross-process merging (float ``sum`` accumulates rounding
+    that depends on fold order; ``sum_ns`` does not).
+    """
 
     __slots__ = ("_histogram", "_t0")
 
     def __init__(self, histogram: "Histogram") -> None:
         self._histogram = histogram
-        self._t0 = 0.0
+        self._t0 = 0
 
     def __enter__(self) -> "_TimerContext":
-        self._t0 = time.perf_counter()
+        self._t0 = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc: Any) -> None:
-        self._histogram.observe(time.perf_counter() - self._t0)
+        self._histogram.observe_ns(time.perf_counter_ns() - self._t0)
 
 
 class Histogram:
@@ -99,7 +105,10 @@ class Histogram:
             overflow.  Bounds are fixed at creation — no rebucketing.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name", "bounds", "bucket_counts", "count", "sum", "sum_ns",
+        "min", "max",
+    )
 
     def __init__(
         self, name: str, buckets: Sequence[float] = DEFAULT_COUNT_BUCKETS
@@ -114,6 +123,9 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)  # +1: the +inf bucket
         self.count = 0
         self.sum = 0.0
+        #: Exact integer-nanosecond total for timer samples (observe_ns);
+        #: stays 0 for plain value histograms.
+        self.sum_ns = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
 
@@ -133,6 +145,17 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def observe_ns(self, duration_ns: int) -> None:
+        """Record one timer sample given in integer nanoseconds.
+
+        Bucket/min/max/float-sum bookkeeping goes through :meth:`observe`
+        on the seconds value; the nanosecond total is additionally kept as
+        an exact integer so merged timers report true totals independent
+        of fold order.
+        """
+        self.observe(duration_ns / 1e9)
+        self.sum_ns += duration_ns
+
     def time(self) -> _TimerContext:
         """``with histogram.time():`` records the block's wall duration."""
         return _TimerContext(self)
@@ -145,6 +168,7 @@ class Histogram:
         return {
             "count": self.count,
             "sum": self.sum,
+            "sum_ns": self.sum_ns,
             "min": self.min,
             "max": self.max,
             "buckets": [
@@ -257,6 +281,9 @@ class MetricsRegistry:
                 histogram.bucket_counts[idx] += bucket["count"]
             histogram.count += data["count"]
             histogram.sum += data["sum"]
+            # .get(): snapshots written before the sum_ns sidecar existed
+            # still merge cleanly.
+            histogram.sum_ns += data.get("sum_ns", 0)
             for side, better in (("min", min), ("max", max)):
                 incoming = data.get(side)
                 if incoming is None:
@@ -334,6 +361,9 @@ class _NullHistogram(Histogram):
     __slots__ = ()
 
     def observe(self, value: float) -> None:
+        return
+
+    def observe_ns(self, duration_ns: int) -> None:
         return
 
 

@@ -27,11 +27,14 @@ predictor cannot see them, so they can never influence a query result.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.cluster.nodeset import NodeSet
 from repro.failures.events import FailureTrace
 from repro.prediction.base import PredictedFailure
+
+if TYPE_CHECKING:
+    from repro.obs.prof import Profiler, Zone
 
 
 class FailureIntervalIndex:
@@ -73,6 +76,19 @@ class FailureIntervalIndex:
         #: Nodes carrying at least one detectable failure, ascending; every
         #: other node is clean in every window and never needs scanning.
         self._failing_nodes: List[int] = sorted(times)
+        # Profiling (repro.obs.prof): off until bind_profiler.
+        self._prof = False
+        self._z_query: Optional["Zone"] = None
+
+    def bind_profiler(self, profiler: "Profiler") -> None:
+        """Attach a profiler: set queries run in ``prediction.index.query``.
+
+        Binding a null profiler is a no-op (the zone stays unbound and the
+        one-bool guard keeps the query path at its uninstrumented cost).
+        """
+        if profiler.enabled:
+            self._prof = True
+            self._z_query = profiler.zone("prediction.index.query")
 
     @property
     def accuracy(self) -> float:
@@ -157,8 +173,13 @@ class FailureIntervalIndex:
         Bit-identical to ``TracePredictor.failure_probability`` — same
         events, same ``(time, event_id)`` tie-break, same float.
         """
-        first = self.first_detectable(nodes, start, end)
-        return first[2] if first is not None else 0.0
+        if not self._prof:
+            first = self.first_detectable(nodes, start, end)
+            return first[2] if first is not None else 0.0
+        assert self._z_query is not None
+        with self._z_query:
+            first = self.first_detectable(nodes, start, end)
+            return first[2] if first is not None else 0.0
 
     def first_predicted(
         self, nodes: Iterable[int], start: float, end: float

@@ -32,6 +32,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.prof import NULL_PROFILER, Profiler, Zone
 from repro.obs.registry import NULL_REGISTRY, Counter, Histogram, MetricsRegistry
 from repro.sim.calendar_queue import EVENT_QUEUE_KINDS, EventQueue, make_event_queue
 from repro.sim.events import Event, EventKind
@@ -63,6 +64,7 @@ class EventLoop:
         start_time: float = 0.0,
         registry: Optional[MetricsRegistry] = None,
         queue: str = "heap",
+        profiler: Optional[Profiler] = None,
     ) -> None:
         """Args:
             start_time: Initial simulated clock.
@@ -72,6 +74,10 @@ class EventLoop:
                 ``"heap"`` (default, the seed backend) or ``"calendar"``
                 (O(1) amortised at big-cluster depth).  Both dispatch the
                 exact same event sequence.
+            profiler: Optional hierarchical profiler
+                (:mod:`repro.obs.prof`); when live, each dispatched event
+                runs inside a per-kind ``sim.engine.dispatch.*`` zone and
+                advances the profiler's sim-time bucket clock.
         """
         self._now = float(start_time)
         self._queue: EventQueue = make_event_queue(queue)
@@ -91,6 +97,12 @@ class EventLoop:
         self._dispatch_counters: Dict[EventKind, Counter] = {}
         self._handler_timers: Dict[EventKind, Histogram] = {}
         self._live_by_kind: Dict[EventKind, int] = {}
+        # Profiling (repro.obs.prof): per-kind dispatch zones, gated on one
+        # bool exactly like the registry so the NULL_PROFILER default costs
+        # a single attribute test per event.
+        self._profiler = profiler if profiler is not None else NULL_PROFILER
+        self._prof = self._profiler.enabled
+        self._dispatch_zones: Dict[EventKind, Zone] = {}
         # Dispatch counting for the span layer (repro.obs.trace): a plain
         # per-kind dict, cheaper than registry counters and available even
         # without a registry.  Costs one bool test per event when off.
@@ -203,19 +215,28 @@ class EventLoop:
         handler = self._handlers.get(event.kind)
         if handler is None:
             raise SimulationError(f"no handler registered for {event.kind.value}")
-        if self._obs:
-            self._live_by_kind[event.kind] -= 1
-            self._dispatched_counter(event.kind).inc()
-            t0 = time.perf_counter()  # qoslint: disable=QOS102 -- obs handler timer: measures real handler cost, never feeds sim state
-            handler(event)
-            self._handler_timer(event.kind).observe(time.perf_counter() - t0)  # qoslint: disable=QOS102 -- obs handler timer: wall duration goes to the registry only
+        if self._prof:
+            self._profiler.set_sim_time(event.time)
+            with self._dispatch_zone(event.kind):
+                self._invoke(handler, event)
         else:
-            handler(event)
+            self._invoke(handler, event)
         if self._count_dispatch:
             key = event.kind.value
             self._dispatch_counts[key] = self._dispatch_counts.get(key, 0) + 1
         self._processed += 1
         return event
+
+    def _invoke(self, handler: Handler, event: Event) -> None:
+        """Run ``handler`` with the registry instrumentation applied."""
+        if self._obs:
+            self._live_by_kind[event.kind] -= 1
+            self._dispatched_counter(event.kind).inc()
+            t0 = time.perf_counter_ns()  # qoslint: disable=QOS102 -- obs handler timer: measures real handler cost, never feeds sim state
+            handler(event)
+            self._handler_timer(event.kind).observe_ns(time.perf_counter_ns() - t0)  # qoslint: disable=QOS102 -- obs handler timer: wall duration goes to the registry only
+        else:
+            handler(event)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` is reached, or stopped.
@@ -290,6 +311,13 @@ class EventLoop:
             timer = self._registry.timer(f"sim.engine.handler_seconds.{kind.value}")
             self._handler_timers[kind] = timer
         return timer
+
+    def _dispatch_zone(self, kind: EventKind) -> Zone:
+        zone = self._dispatch_zones.get(kind)
+        if zone is None:
+            zone = self._profiler.zone(f"sim.engine.dispatch.{kind.value}")  # qoslint: disable=QOS111 -- per-kind dispatch zones: kind.value is a closed enum of lowercase segments
+            self._dispatch_zones[kind] = zone
+        return zone
 
     # ------------------------------------------------------------------
     # Internals

@@ -143,3 +143,60 @@ class TestNullRegistry:
 
     def test_default_buckets_are_ascending(self):
         assert list(DEFAULT_COUNT_BUCKETS) == sorted(DEFAULT_COUNT_BUCKETS)
+
+
+class TestExactTimerAccounting:
+    """The sum_ns sidecar: true integer totals across merges (PR 3 gap)."""
+
+    def test_observe_ns_keeps_exact_integer_totals(self):
+        h = Histogram("a.b.seconds")
+        h.observe_ns(1_500_000_000)
+        h.observe_ns(3)
+        assert h.sum_ns == 1_500_000_003
+        assert h.count == 2
+        assert h.sum == pytest.approx(1.500000003)
+        assert h.to_dict()["sum_ns"] == 1_500_000_003
+
+    def test_timer_context_populates_sum_ns(self):
+        h = Histogram("a.b.seconds")
+        with h.time():
+            pass
+        assert h.count == 1
+        assert h.sum_ns > 0
+
+    def test_merge_order_cannot_change_the_ns_total(self):
+        # Values chosen so float seconds accumulate rounding error while
+        # the integer nanosecond side stays exact in any fold order.
+        samples = [10**9 + 1, 7, 3 * 10**9 + 13, 1, 10**6 + 9]
+        workers = []
+        for sample in samples:
+            reg = MetricsRegistry()
+            reg.histogram("sim.engine.handler_seconds").observe_ns(sample)
+            workers.append(reg.snapshot())
+
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in workers:
+            forward.merge_snapshot(snap)
+        for snap in reversed(workers):
+            backward.merge_snapshot(snap)
+        expected = sum(samples)
+        f = forward.histogram("sim.engine.handler_seconds")
+        b = backward.histogram("sim.engine.handler_seconds")
+        assert f.sum_ns == expected
+        assert b.sum_ns == expected
+        assert f.count == b.count == len(samples)
+
+    def test_pre_sidecar_snapshots_still_merge(self):
+        reg = MetricsRegistry()
+        reg.histogram("a.b.seconds").observe_ns(5)
+        old_snapshot = reg.snapshot()
+        for data in old_snapshot["histograms"].values():
+            del data["sum_ns"]
+        target = MetricsRegistry()
+        target.merge_snapshot(old_snapshot)
+        assert target.histogram("a.b.seconds").count == 1
+        assert target.histogram("a.b.seconds").sum_ns == 0
+
+    def test_null_histogram_observe_ns_is_inert(self):
+        NULL_REGISTRY.histogram("a.b.seconds").observe_ns(10**9)
+        assert NULL_REGISTRY.snapshot()["histograms"] == {}
